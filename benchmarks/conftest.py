@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one evaluation artefact of the paper and
+writes its table to ``benchmarks/results/<name>.txt`` in addition to
+printing it (run with ``-s`` to see the tables live).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write a table to the results directory and echo it to stdout."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit

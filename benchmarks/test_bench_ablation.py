@@ -1,0 +1,67 @@
+"""E6 — ablation of the design choices DESIGN.md calls out.
+
+Two knobs distinguish the paper's hardware-shaped algorithm from the
+idealised software version:
+
+* the *pipelined* column pass works on the row pass's transpose stream
+  (stale data) and relies on the outer iterations, versus a *fresh*
+  column pass that reads the updated matrix;
+* mirror-quadrant *merging* in the Row Combination Unit, which shrinks
+  the schedule versus emitting per-quadrant moves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_ablation
+from repro.config import QrmParameters, ScanMode
+from repro.core.qrm import QrmScheduler
+from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.loading import load_uniform
+
+SIZE = 50
+
+
+@pytest.fixture(scope="module")
+def array50():
+    geometry = ArrayGeometry.square(SIZE)
+    return load_uniform(geometry, 0.5, rng=99)
+
+
+@pytest.mark.parametrize(
+    "mode", [ScanMode.PIPELINED, ScanMode.FRESH], ids=["pipelined", "fresh"]
+)
+def test_scan_mode_analysis_time(benchmark, mode, array50):
+    params = QrmParameters(scan_mode=mode)
+    scheduler = QrmScheduler(array50.geometry, params)
+    result = benchmark(scheduler.schedule, array50)
+    assert result.final.n_atoms == array50.n_atoms
+
+
+@pytest.mark.parametrize("merge", [True, False], ids=["merged", "unmerged"])
+def test_merge_mode_analysis_time(benchmark, merge, array50):
+    params = QrmParameters(merge_mirror_quadrants=merge)
+    scheduler = QrmScheduler(array50.geometry, params)
+    result = benchmark(scheduler.schedule, array50)
+    assert result.final.n_atoms == array50.n_atoms
+
+
+def test_ablation_table(benchmark, emit):
+    result = benchmark.pedantic(
+        run_ablation, kwargs=dict(size=SIZE, trials=2), rounds=1, iterations=1
+    )
+    emit("ablation", result.format_table())
+
+    pipelined, fresh, unmerged, sen = result.rows
+    # Fresh converges in fewer iterations and never skips stale work.
+    assert fresh.iterations <= pipelined.iterations
+    assert fresh.skipped_stale == 0
+    assert pipelined.skipped_stale > 0
+    # Both modes assemble to comparable quality.
+    assert abs(fresh.target_fill - pipelined.target_fill) < 0.03
+    # Merging shrinks the schedule (the Row Combination Unit's purpose).
+    assert unmerged.moves > pipelined.moves
+    # The s_en bound saves moves without hurting assembly quality.
+    assert sen.moves <= pipelined.moves
+    assert sen.target_fill >= pipelined.target_fill - 0.01

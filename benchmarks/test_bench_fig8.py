@@ -1,0 +1,54 @@
+"""E3 — Fig. 8: FPGA resource utilisation across array sizes.
+
+Regenerates the resource curves on the ZU49DR budget: LUT and FF grow
+linearly to 6.31 % / 6.19 % at 90x90, BRAM stays flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import PAPER_FIG8_AT_90, run_fig8
+from repro.fpga.resources import ResourceModel
+
+SIZES = (10, 30, 50, 70, 90)
+
+
+def test_resource_estimation_speed(benchmark):
+    model = ResourceModel()
+    report = benchmark(model.estimate, 90)
+    assert report.total_luts > 0
+
+
+def test_fig8_table(benchmark, emit):
+    result = benchmark.pedantic(
+        run_fig8, kwargs=dict(sizes=SIZES), rounds=1, iterations=1
+    )
+    emit("fig8", result.format_table())
+
+    rows = {row.size: row for row in result.rows}
+    # Paper anchors at 90x90.
+    assert rows[90].lut_pct == pytest.approx(PAPER_FIG8_AT_90["LUT"], abs=0.02)
+    assert rows[90].ff_pct == pytest.approx(PAPER_FIG8_AT_90["FF"], abs=0.02)
+    # Linear LUT/FF growth: second differences vanish.
+    lut = [rows[s].lut_pct for s in SIZES]
+    increments = [b - a for a, b in zip(lut, lut[1:])]
+    assert max(increments) - min(increments) < 0.01
+    # BRAM flat across the sweep.
+    brams = {rows[s].bram_pct for s in SIZES}
+    assert len(brams) == 1
+    # FF percentage grows faster than LUT percentage in absolute cells.
+    assert (rows[90].ffs - rows[10].ffs) > (rows[90].luts - rows[10].luts)
+
+
+def test_fig8_module_breakdown(benchmark, emit):
+    model = ResourceModel()
+    report = benchmark.pedantic(
+        model.estimate, args=(50,), rounds=1, iterations=1
+    )
+    emit("fig8_breakdown_50", report.format_table())
+    qpm = next(
+        m for m in report.modules if m.name == "quadrant_processors"
+    )
+    # Sec. V-C: about half the logic sits in the four QPMs.
+    assert qpm.luts / report.total_luts == pytest.approx(0.5, abs=0.02)

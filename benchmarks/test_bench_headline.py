@@ -1,0 +1,25 @@
+"""E4 — headline claims of Sec. V-B.
+
+"Our hardware implementation is able to complete the rearrangement
+process of a 30x30 compact target array, derived from a 50x50 initial
+loaded array, in approximately 1.0 us ... about 54x and 300x speedups in
+the rearrangement analysis time" — regenerated from the cycle-level
+model and the calibrated cost models.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_headline
+
+
+def test_headline_claims(benchmark, emit):
+    result = benchmark.pedantic(run_headline, rounds=1, iterations=1)
+    emit("headline", result.format_table())
+
+    # Our cycle model is honest rather than tuned: we accept the same
+    # decade, not the exact point (see EXPERIMENTS.md for the delta).
+    assert 0.5 <= result.fpga_us_at_50 <= 3.0
+    assert 15 <= result.speedup_vs_cpu <= 120
+    assert 90 <= result.speedup_vs_tetris <= 650
+    # "four iterations were used to complete the entire process"
+    assert result.iterations_used <= 4

@@ -1,0 +1,29 @@
+"""E8 — physical atom loss vs schedule structure (extension).
+
+Connects the analysis-side metrics to physics: schedules with more or
+longer moves keep atoms in flight longer and hand them over more often,
+losing more of them.  This is the quantitative version of the paper's
+parallelism motivation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_loss_comparison
+
+
+def test_loss_comparison_table(benchmark, emit):
+    result = benchmark.pedantic(
+        run_loss_comparison,
+        kwargs=dict(size=20, trials=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit("loss_comparison", result.format_table())
+
+    by_name = {row.algorithm: row for row in result.rows}
+    # Every algorithm keeps the vast majority of atoms at these rates.
+    for row in result.rows:
+        assert row.survival > 0.9
+    # The sequential baseline's motion time per *useful* move is the
+    # longest path; QRM's parallel schedule finishes the motion quickly.
+    assert by_name["qrm"].motion_ms <= by_name["tetris"].motion_ms

@@ -1,0 +1,41 @@
+"""E5 — assembly quality vs loading probability (extension experiment).
+
+Quantifies the feasibility analysis in DESIGN.md: centre-ward quadrant
+compaction alone cannot always fill the target from a 50 % load, and the
+optional repair stage closes the gap.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_success_sweep
+
+
+def test_success_sweep_table(benchmark, emit):
+    result = benchmark.pedantic(
+        run_success_sweep,
+        kwargs=dict(
+            fills=(0.5, 0.6, 0.7),
+            size=30,
+            trials=5,
+            algorithms=("qrm", "qrm-repair"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("success_sweep", result.format_table())
+
+    by_key = {(r.algorithm, r.fill): r for r in result.rows}
+    # Higher loading monotonically improves plain QRM's fill.
+    assert (
+        by_key[("qrm", 0.5)].mean_target_fill
+        <= by_key[("qrm", 0.6)].mean_target_fill
+        <= by_key[("qrm", 0.7)].mean_target_fill
+    )
+    # The repair stage dominates plain QRM at every operating point.
+    for fill in (0.5, 0.6, 0.7):
+        assert (
+            by_key[("qrm-repair", fill)].mean_target_fill
+            >= by_key[("qrm", fill)].mean_target_fill
+        )
+    # With repair enabled, a 50 %-loaded array assembles reliably.
+    assert by_key[("qrm-repair", 0.5)].success_probability >= 0.8

@@ -1,0 +1,28 @@
+"""E7 — Fig. 2 motivation: end-to-end control-loop budgets.
+
+Architecture (a) routes the image through the host CPU for detection
+and scheduling; architecture (b) keeps everything on the FPGA.  The
+budget gap is the paper's motivation for the accelerator.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_workflow_comparison
+
+
+def test_workflow_comparison_table(benchmark, emit):
+    result = benchmark.pedantic(
+        run_workflow_comparison, kwargs=dict(size=50), rounds=1, iterations=1
+    )
+    emit("workflow", result.format_table())
+
+    a_total = result.budget_a.total_us
+    b_total = result.budget_b.total_us
+    # The fully-on-FPGA loop wins by a clear factor.
+    assert b_total < a_total / 2
+    # In architecture (b) the analysis itself is a negligible slice —
+    # exactly the situation the accelerator is built for.
+    analysis = next(
+        item for item in result.budget_b.items if "analysis" in item.stage
+    )
+    assert analysis.time_us < 0.1 * b_total

@@ -1,0 +1,92 @@
+"""Scalability study: Fig. 7(a) and Fig. 8 in one run.
+
+Sweeps the initial array size, reporting for each size the simulated
+FPGA analysis latency (with its cycle breakdown), the calibrated CPU
+model, and the estimated resource utilisation — the full scaling story
+of the paper's evaluation.
+
+Run with::
+
+    python examples/scalability_study.py [--sizes 10 30 50 70 90]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ArrayGeometry, load_uniform
+from repro.analysis.tables import format_table
+from repro.baselines import model_cpu_time_us
+from repro.fpga import QrmAccelerator, ResourceModel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[10, 30, 50, 70, 90]
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    resource_model = ResourceModel()
+    latency_rows = []
+    resource_rows = []
+    for size in args.sizes:
+        geometry = ArrayGeometry.square(size)
+        array = load_uniform(geometry, fill=0.5, rng=args.seed)
+        run = QrmAccelerator(geometry).run(array)
+        report = run.report
+
+        cpu_us = model_cpu_time_us("qrm", size)
+        latency_rows.append(
+            [
+                size,
+                report.total_cycles,
+                report.time_us,
+                cpu_us,
+                cpu_us / report.time_us,
+                run.result.iterations_used,
+                run.result.target_fill_fraction,
+            ]
+        )
+
+        utilisation = resource_model.estimate(size).utilisation()
+        resource_rows.append(
+            [
+                size,
+                utilisation["LUT"],
+                utilisation["FF"],
+                utilisation["BRAM"],
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "size", "fpga_cycles", "fpga_us", "cpu_model_us",
+                "speedup", "iters", "target fill",
+            ],
+            latency_rows,
+            title="Analysis latency vs array size (Fig 7a)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["size", "LUT %", "FF %", "BRAM %"],
+            resource_rows,
+            title=(
+                f"Resource utilisation on {resource_model.device.name} (Fig 8)"
+            ),
+        )
+    )
+    print()
+    print(
+        "Note how the FPGA latency grows by only ~4x across a 9x size\n"
+        "sweep while the CPU model grows by ~300x — the scalability\n"
+        "argument of the paper's conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

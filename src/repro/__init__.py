@@ -1,0 +1,67 @@
+"""repro — reproduction of the DATE 2025 FPGA neutral-atom rearrangement
+accelerator (Quadrant-based Rearrangement Method, QRM).
+
+Public API highlights
+---------------------
+``ArrayGeometry`` / ``AtomArray`` / ``load_uniform``
+    the trap-array substrate;
+``QrmScheduler`` / ``rearrange``
+    the paper's algorithm, emitting validated ``MoveSchedule`` objects;
+``QrmAccelerator``
+    the cycle-level FPGA model reporting latency at 250 MHz;
+``validate_schedule``
+    independent replay/validation of any schedule;
+``run_fig7a`` / ``run_fig7b`` / ``run_fig8``
+    regeneration of every evaluation figure in the paper
+    (in :mod:`repro.analysis`).
+"""
+
+from repro.aod import (
+    AodConstraints,
+    LineShift,
+    MoveSchedule,
+    ParallelMove,
+    execute_schedule,
+    require_valid,
+    validate_schedule,
+)
+from repro.config import DEFAULT_QRM_PARAMETERS, QrmParameters, ScanMode
+from repro.core import QrmScheduler, RearrangementResult, TypicalScheduler, rearrange
+from repro.lattice import (
+    ArrayGeometry,
+    AtomArray,
+    Direction,
+    Quadrant,
+    Region,
+    load_uniform,
+    render_array,
+    render_side_by_side,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AodConstraints",
+    "ArrayGeometry",
+    "AtomArray",
+    "DEFAULT_QRM_PARAMETERS",
+    "Direction",
+    "LineShift",
+    "MoveSchedule",
+    "ParallelMove",
+    "Quadrant",
+    "QrmParameters",
+    "QrmScheduler",
+    "RearrangementResult",
+    "Region",
+    "ScanMode",
+    "TypicalScheduler",
+    "__version__",
+    "execute_schedule",
+    "load_uniform",
+    "rearrange",
+    "render_array",
+    "render_side_by_side",
+    "require_valid",
+    "validate_schedule",
+]

@@ -1,0 +1,80 @@
+"""Multi-trial aggregation helpers for the experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.baselines.base import get_algorithm
+from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.loading import load_uniform
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/std/min/max of a sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        if not values:
+            return cls(math.nan, math.nan, math.nan, math.nan, 0)
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / n
+        return cls(mean, math.sqrt(var), min(values), max(values), n)
+
+
+def run_trials(
+    fn: Callable[[int], float], seeds: Sequence[int]
+) -> Summary:
+    """Evaluate ``fn(seed)`` over seeds and summarise."""
+    return Summary.of([fn(seed) for seed in seeds])
+
+
+@dataclass(frozen=True)
+class FillStats:
+    """Assembly quality of one algorithm at one operating point."""
+
+    algorithm: str
+    size: int
+    fill: float
+    mean_target_fill: float
+    success_probability: float
+    mean_moves: float
+    trials: int
+
+
+def assembly_statistics(
+    algorithm: str,
+    size: int,
+    fill: float,
+    seeds: Sequence[int],
+    target_size: int | None = None,
+) -> FillStats:
+    """Run ``algorithm`` over seeded loads; aggregate fill metrics."""
+    geometry = ArrayGeometry.square(size, target_size)
+    fills: list[float] = []
+    successes = 0
+    moves: list[float] = []
+    for seed in seeds:
+        array = load_uniform(geometry, fill, rng=seed)
+        result = get_algorithm(algorithm, geometry).schedule(array)
+        fills.append(result.target_fill_fraction)
+        successes += int(result.defect_free)
+        moves.append(float(result.n_moves))
+    return FillStats(
+        algorithm=algorithm,
+        size=size,
+        fill=fill,
+        mean_target_fill=Summary.of(fills).mean,
+        success_probability=successes / len(seeds) if seeds else math.nan,
+        mean_moves=Summary.of(moves).mean,
+        trials=len(seeds),
+    )

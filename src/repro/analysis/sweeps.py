@@ -1,0 +1,114 @@
+"""Generic parameter sweeps with CSV export.
+
+Thin declarative layer over the experiment runners: a sweep maps a
+cartesian grid of parameters through a metric function and collects rows
+suitable for tables or CSV files — the workhorse behind custom studies
+that go beyond the fixed paper figures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.analysis.tables import format_table, to_csv
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SweepResult:
+    """Rows collected by :func:`run_sweep`."""
+
+    parameter_names: list[str]
+    metric_names: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    @property
+    def headers(self) -> list[str]:
+        return [*self.parameter_names, *self.metric_names]
+
+    def format_table(self, title: str | None = None) -> str:
+        return format_table(self.headers, self.rows, title=title)
+
+    def to_csv(self) -> str:
+        return to_csv(self.headers, self.rows)
+
+    def write_csv(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_csv() + "\n")
+        return path
+
+    def column(self, name: str) -> list[Any]:
+        """One named column across all rows."""
+        try:
+            index = self.headers.index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown column '{name}'; have {self.headers}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+
+def run_sweep(
+    parameters: Mapping[str, Sequence[Any]],
+    metrics: Mapping[str, Callable[..., Any]],
+) -> SweepResult:
+    """Evaluate ``metrics`` over the cartesian grid of ``parameters``.
+
+    Each metric function is called with the grid point as keyword
+    arguments, e.g.::
+
+        run_sweep(
+            {"size": [10, 20], "fill": [0.5, 0.6]},
+            {"fill_frac": lambda size, fill: measure(size, fill)},
+        )
+    """
+    if not parameters:
+        raise ConfigurationError("a sweep needs at least one parameter")
+    if not metrics:
+        raise ConfigurationError("a sweep needs at least one metric")
+    names = list(parameters)
+    result = SweepResult(
+        parameter_names=names, metric_names=list(metrics)
+    )
+    for point in itertools.product(*(parameters[name] for name in names)):
+        kwargs = dict(zip(names, point))
+        row: list[Any] = list(point)
+        for metric_fn in metrics.values():
+            row.append(metric_fn(**kwargs))
+        result.rows.append(row)
+    return result
+
+
+def qrm_quality_sweep(
+    sizes: Sequence[int] = (20, 30, 50),
+    fills: Sequence[float] = (0.5, 0.6, 0.7),
+    trials: int = 3,
+    seed_base: int = 0,
+) -> SweepResult:
+    """Ready-made sweep: QRM target fill and moves over size x fill."""
+    from repro.analysis.stats import assembly_statistics
+
+    def _stats(size: int, fill: float):
+        seeds = [seed_base + i for i in range(trials)]
+        return assembly_statistics("qrm", size, fill, seeds)
+
+    cache: dict[tuple[int, float], Any] = {}
+
+    def _cached(size: int, fill: float):
+        key = (size, fill)
+        if key not in cache:
+            cache[key] = _stats(size, fill)
+        return cache[key]
+
+    return run_sweep(
+        {"size": list(sizes), "fill": list(fills)},
+        {
+            "target_fill": lambda size, fill: _cached(size, fill).mean_target_fill,
+            "p_success": lambda size, fill: _cached(size, fill).success_probability,
+            "moves": lambda size, fill: _cached(size, fill).mean_moves,
+        },
+    )

@@ -1,0 +1,48 @@
+"""Plain-text table formatting for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_format: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [
+        [_format_cell(value, float_format) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(values: Sequence[str]) -> str:
+        return "  ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Comma-separated rendering (no quoting — fields are plain)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(_format_cell(v, ".6g") for v in row))
+    return "\n".join(lines)

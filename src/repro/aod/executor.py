@@ -1,0 +1,184 @@
+"""Replay of move schedules on occupancy grids (lockstep semantics).
+
+The executor is the single source of truth for what a move *does*: both
+the pure-Python scheduler and the FPGA functional model apply moves
+through these functions, so their outputs stay bit-identical and the
+validator can replay any schedule independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aod.constraints import (
+    AodConstraints,
+    DEFAULT_CONSTRAINTS,
+    Violation,
+    check_parallel_move,
+)
+from repro.aod.move import ParallelMove
+from repro.aod.schedule import MoveSchedule
+from repro.errors import MoveError
+from repro.lattice.array import AtomArray
+
+
+def apply_parallel_move_reference(grid: np.ndarray, move: ParallelMove) -> int:
+    """Site-by-site reference implementation of lockstep move semantics.
+
+    Kept as the oracle for property tests; production code uses the
+    vectorised :func:`apply_parallel_move`, which must behave
+    identically (including which violations raise).
+    """
+    height, width = grid.shape
+    sources: list[tuple[int, int]] = []
+    dests: list[tuple[int, int]] = []
+    source_set: set[tuple[int, int]] = set()
+    for shift in move.shifts:
+        for site in shift.sites():
+            if not (0 <= site[0] < height and 0 <= site[1] < width):
+                raise MoveError(f"selected site {site} outside grid")
+            if grid[site]:
+                dest = shift.destination(site)
+                if not (0 <= dest[0] < height and 0 <= dest[1] < width):
+                    raise MoveError(f"atom at {site} would leave the grid")
+                sources.append(site)
+                dests.append(dest)
+                source_set.add(site)
+
+    landing_seen: set[tuple[int, int]] = set()
+    for site, dest in zip(sources, dests):
+        if dest in landing_seen:
+            raise MoveError(f"two atoms land on {dest}")
+        landing_seen.add(dest)
+        if grid[dest] and dest not in source_set:
+            raise MoveError(
+                f"atom from {site} collides with static atom at {dest}"
+            )
+
+    for site in sources:
+        grid[site] = False
+    for dest in dests:
+        grid[dest] = True
+    return len(sources)
+
+
+def _plan_line_shift(
+    vec: np.ndarray, shift
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Validate one line shift against a 1-D occupancy view.
+
+    Returns ``(sources, destinations)`` as index arrays into ``vec``, or
+    None when the span holds no atom.  The span is contiguous, so the
+    lockstep rules collapse to: every destination falling outside the
+    span must be empty.  Raises :class:`~repro.errors.MoveError` without
+    mutating anything.
+    """
+    a, b = shift.span_start, shift.span_stop
+    if a < 0 or b > vec.size:
+        raise MoveError(f"span [{a}, {b}) outside line of length {vec.size}")
+    occupied = np.nonzero(vec[a:b])[0]
+    if occupied.size == 0:
+        return None
+    dr, dc = shift.direction.delta
+    k = shift.steps * (dr + dc)  # signed displacement along the line
+    src = occupied + a
+    dst = src + k
+    if dst[0] < 0 or dst[-1] >= vec.size:
+        raise MoveError(
+            f"line {shift.line}: atoms would leave the grid "
+            f"(span [{a}, {b}), steps {shift.steps})"
+        )
+    outside = dst[(dst < a) | (dst >= b)]
+    if outside.size and vec[outside].any():
+        raise MoveError(
+            f"line {shift.line}: segment collides with a static atom"
+        )
+    return src, dst
+
+
+def apply_parallel_move(grid: np.ndarray, move: ParallelMove) -> int:
+    """Apply ``move`` to ``grid`` in place; returns atoms displaced.
+
+    Lockstep semantics: all selected atoms lift simultaneously, translate
+    by ``steps`` sites, and land simultaneously.  A landing site must be
+    empty *after* lift-off, i.e. either previously empty or itself a
+    vacated source.  Violations raise :class:`~repro.errors.MoveError`
+    and leave the grid untouched (all lines are validated before any is
+    mutated; lines of one move are distinct, so they are independent).
+    """
+    height, width = grid.shape
+    horizontal = move.direction.is_horizontal
+    planned: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for shift in move.shifts:
+        if horizontal:
+            if not 0 <= shift.line < height:
+                raise MoveError(f"row {shift.line} outside grid")
+            vec = grid[shift.line, :]
+        else:
+            if not 0 <= shift.line < width:
+                raise MoveError(f"column {shift.line} outside grid")
+            vec = grid[:, shift.line]
+        plan = _plan_line_shift(vec, shift)
+        if plan is not None:
+            planned.append((vec, plan[0], plan[1]))
+
+    moved = 0
+    for vec, src, dst in planned:
+        vec[src] = False
+        vec[dst] = True
+        moved += int(src.size)
+    return moved
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of replaying a schedule."""
+
+    n_moves: int = 0
+    n_atom_displacements: int = 0
+    n_empty_moves: int = 0
+    n_failed_moves: int = 0
+    violations: list[tuple[int, Violation]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.n_failed_moves == 0 and not self.violations
+
+
+def execute_schedule(
+    initial: AtomArray,
+    schedule: MoveSchedule,
+    constraints: AodConstraints | None = DEFAULT_CONSTRAINTS,
+    strict: bool = True,
+) -> tuple[AtomArray, ExecutionReport]:
+    """Replay ``schedule`` from ``initial``; returns (final array, report).
+
+    With ``strict=True`` the first invalid move raises; with
+    ``strict=False`` invalid moves are recorded in the report and
+    skipped, which is what the validator uses to diagnose bad schedules.
+    Constraint checking is skipped when ``constraints`` is None.
+    """
+    array = initial.copy()
+    report = ExecutionReport()
+    for index, move in enumerate(schedule):
+        if constraints is not None:
+            for violation in check_parallel_move(array.grid, move, constraints):
+                report.violations.append((index, violation))
+                if strict:
+                    raise MoveError(
+                        f"move {index} violates constraints: {violation}"
+                    )
+        try:
+            moved = apply_parallel_move(array.grid, move)
+        except MoveError:
+            if strict:
+                raise
+            report.n_failed_moves += 1
+            continue
+        report.n_moves += 1
+        report.n_atom_displacements += moved
+        if moved == 0:
+            report.n_empty_moves += 1
+    return array, report

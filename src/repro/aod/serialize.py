@@ -1,0 +1,120 @@
+"""JSON (de)serialisation of move schedules.
+
+The control software archives every shot's schedule for diagnostics and
+replays; this module defines a stable, versioned JSON interchange format
+for :class:`~repro.aod.MoveSchedule` with exact round-trip guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.aod.move import LineShift, ParallelMove
+from repro.aod.schedule import MoveSchedule
+from repro.errors import ScheduleValidationError
+from repro.lattice.geometry import ArrayGeometry, Direction
+
+FORMAT_VERSION = 1
+
+
+def _shift_to_dict(shift: LineShift) -> dict[str, Any]:
+    # int() casts guard against numpy integer scalars leaking in from
+    # algorithm implementations — JSON refuses to encode them.
+    return {
+        "dir": shift.direction.value,
+        "line": int(shift.line),
+        "start": int(shift.span_start),
+        "stop": int(shift.span_stop),
+        "steps": int(shift.steps),
+    }
+
+
+def _shift_from_dict(data: dict[str, Any]) -> LineShift:
+    try:
+        return LineShift(
+            direction=Direction(data["dir"]),
+            line=int(data["line"]),
+            span_start=int(data["start"]),
+            span_stop=int(data["stop"]),
+            steps=int(data.get("steps", 1)),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ScheduleValidationError(f"malformed shift record: {data}") from exc
+
+
+def schedule_to_dict(schedule: MoveSchedule) -> dict[str, Any]:
+    """Schedule as a JSON-serialisable dictionary."""
+    geometry = schedule.geometry
+    return {
+        "version": FORMAT_VERSION,
+        "algorithm": schedule.algorithm,
+        "geometry": {
+            "width": geometry.width,
+            "height": geometry.height,
+            "target_width": geometry.target_width,
+            "target_height": geometry.target_height,
+        },
+        "moves": [
+            {
+                "tag": move.tag,
+                "shifts": [_shift_to_dict(s) for s in move.shifts],
+            }
+            for move in schedule
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> MoveSchedule:
+    """Inverse of :func:`schedule_to_dict`."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ScheduleValidationError(
+            f"unsupported schedule format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        geo = data["geometry"]
+        geometry = ArrayGeometry(
+            width=int(geo["width"]),
+            height=int(geo["height"]),
+            target_width=int(geo["target_width"]),
+            target_height=int(geo["target_height"]),
+        )
+        schedule = MoveSchedule(geometry, algorithm=data.get("algorithm", ""))
+        for move_data in data["moves"]:
+            shifts = [_shift_from_dict(s) for s in move_data["shifts"]]
+            schedule.append(
+                ParallelMove.of(shifts, tag=move_data.get("tag", ""))
+            )
+    except (KeyError, TypeError) as exc:
+        raise ScheduleValidationError(
+            "malformed schedule document"
+        ) from exc
+    return schedule
+
+
+def dumps(schedule: MoveSchedule, indent: int | None = None) -> str:
+    """Schedule to a JSON string."""
+    return json.dumps(schedule_to_dict(schedule), indent=indent)
+
+
+def loads(text: str) -> MoveSchedule:
+    """Schedule from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScheduleValidationError(f"invalid JSON: {exc}") from exc
+    return schedule_from_dict(data)
+
+
+def save(schedule: MoveSchedule, path) -> None:
+    """Write a schedule to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(schedule, indent=2))
+
+
+def load(path) -> MoveSchedule:
+    """Read a schedule from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

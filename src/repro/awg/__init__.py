@@ -1,0 +1,15 @@
+"""AWG waveform synthesis: move schedules -> RF tone programs."""
+
+from repro.awg.compiler import compile_move, compile_schedule
+from repro.awg.tones import AodToneConfig, ToneMap
+from repro.awg.waveform import Segment, Tone, WaveformProgram
+
+__all__ = [
+    "AodToneConfig",
+    "Segment",
+    "Tone",
+    "ToneMap",
+    "WaveformProgram",
+    "compile_move",
+    "compile_schedule",
+]

@@ -1,0 +1,120 @@
+"""Compile move schedules into AWG waveform programs.
+
+Every parallel move becomes a pickup / transport / drop segment triple:
+
+* *pickup* — the AOD tones of the selected rows and columns ramp up in
+  amplitude to transfer atoms from the static traps into the tweezers;
+* *transport* — the tones of the moving axis chirp by ``steps`` lattice
+  spacings while the orthogonal axis stays static;
+* *drop* — amplitude ramps back down, releasing atoms into the lattice.
+
+Durations come from the shared :class:`~repro.aod.timing.MoveTimingModel`
+so the program length equals the physical motion-time estimate exactly
+(asserted in tests).
+"""
+
+from __future__ import annotations
+
+from repro.aod.move import ParallelMove
+from repro.aod.schedule import MoveSchedule
+from repro.aod.timing import DEFAULT_MOVE_TIMING, MoveTimingModel
+from repro.awg.tones import AodToneConfig
+from repro.awg.waveform import Segment, Tone, WaveformProgram
+from repro.lattice.geometry import Direction
+
+
+def _axis_tones(tone_map, indices: list[int]) -> tuple[Tone, ...]:
+    return tuple(
+        Tone(start_mhz=f, end_mhz=f) for f in tone_map.frequencies(indices)
+    )
+
+
+def _chirped_tones(tone_map, indices: list[int], delta: int) -> tuple[Tone, ...]:
+    tones = []
+    for index in indices:
+        start = tone_map.frequency(index)
+        end = tone_map.frequency(index + delta)
+        tones.append(Tone(start_mhz=start, end_mhz=end))
+    return tuple(tones)
+
+
+def compile_move(
+    move: ParallelMove,
+    tones: AodToneConfig,
+    timing: MoveTimingModel = DEFAULT_MOVE_TIMING,
+    index: int = 0,
+) -> list[Segment]:
+    """Segments (pickup, transport, drop) for one parallel move."""
+    if move.is_horizontal:
+        row_indices = move.selected_lines()
+        col_indices = move.selected_cross()
+    else:
+        col_indices = move.selected_lines()
+        row_indices = move.selected_cross()
+
+    row_static = _axis_tones(tones.rows, row_indices)
+    col_static = _axis_tones(tones.cols, col_indices)
+
+    delta = move.steps
+    if move.direction in (Direction.NORTH, Direction.WEST):
+        delta = -delta
+    if move.is_horizontal:
+        transport_tones = row_static + _chirped_tones(
+            tones.cols, col_indices, delta
+        )
+    else:
+        transport_tones = col_static + _chirped_tones(
+            tones.rows, row_indices, delta
+        )
+
+    label = f"move{index}"
+    pickup = Segment(
+        label=f"{label}.pickup",
+        duration_us=timing.pickup_us,
+        tones=row_static + col_static,
+        amplitude_start=0.0,
+        amplitude_end=1.0,
+    )
+    transport = Segment(
+        label=f"{label}.transport",
+        duration_us=timing.transfer_us_per_site * move.steps,
+        tones=transport_tones,
+    )
+    drop_row = _axis_tones(
+        tones.rows,
+        [i + (delta if not move.is_horizontal else 0) for i in row_indices],
+    )
+    drop_col = _axis_tones(
+        tones.cols,
+        [i + (delta if move.is_horizontal else 0) for i in col_indices],
+    )
+    drop = Segment(
+        label=f"{label}.drop",
+        duration_us=timing.drop_us,
+        tones=drop_row + drop_col,
+        amplitude_start=1.0,
+        amplitude_end=0.0,
+    )
+    return [pickup, transport, drop]
+
+
+def compile_schedule(
+    schedule: MoveSchedule,
+    tones: AodToneConfig | None = None,
+    timing: MoveTimingModel = DEFAULT_MOVE_TIMING,
+) -> WaveformProgram:
+    """The full AWG program for ``schedule``, with settle gaps."""
+    if tones is None:
+        tones = AodToneConfig()
+    program = WaveformProgram()
+    for index, move in enumerate(schedule):
+        program.extend(compile_move(move, tones, timing, index))
+        if timing.settle_us > 0 and index < len(schedule) - 1:
+            program.append(
+                Segment(
+                    label=f"move{index}.settle",
+                    duration_us=timing.settle_us,
+                    tones=(),
+                )
+            )
+    return program

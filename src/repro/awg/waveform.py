@@ -1,0 +1,110 @@
+"""Multi-tone waveform segments with linear chirps.
+
+A segment plays a set of simultaneous tones for a fixed duration; each
+tone ramps linearly from a start to an end frequency (a chirp) under a
+linear amplitude envelope.  Phase is integrated exactly so consecutive
+samples are continuous within a segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WaveformError
+
+
+@dataclass(frozen=True)
+class Tone:
+    """One chirped tone inside a segment (frequencies in MHz)."""
+
+    start_mhz: float
+    end_mhz: float
+
+    @property
+    def is_static(self) -> bool:
+        return self.start_mhz == self.end_mhz
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A fixed-duration block of simultaneous tones.
+
+    ``amplitude_start``/``amplitude_end`` define a linear envelope over
+    the whole segment, shared by all tones (the AWG scales channels
+    together during pickup and drop ramps).
+    """
+
+    label: str
+    duration_us: float
+    tones: tuple[Tone, ...]
+    amplitude_start: float = 1.0
+    amplitude_end: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_us <= 0:
+            raise WaveformError(
+                f"segment '{self.label}' needs positive duration"
+            )
+        for amp in (self.amplitude_start, self.amplitude_end):
+            if not 0.0 <= amp <= 1.0:
+                raise WaveformError(
+                    f"segment '{self.label}' amplitude {amp} outside [0, 1]"
+                )
+
+    def n_samples(self, sample_rate_msps: float) -> int:
+        return max(1, int(round(self.duration_us * sample_rate_msps)))
+
+    def synthesize(self, sample_rate_msps: float = 500.0) -> np.ndarray:
+        """Sample the segment (arbitrary units, one summed channel).
+
+        The instantaneous phase of a linear chirp from f0 to f1 over T is
+        ``2*pi*(f0*t + (f1-f0)*t^2/(2*T))``.
+        """
+        n = self.n_samples(sample_rate_msps)
+        t = np.arange(n) / sample_rate_msps  # microseconds
+        envelope = self.amplitude_start + (
+            self.amplitude_end - self.amplitude_start
+        ) * (t / self.duration_us)
+        out = np.zeros(n, dtype=float)
+        for tone in self.tones:
+            sweep = tone.end_mhz - tone.start_mhz
+            phase = 2.0 * np.pi * (
+                tone.start_mhz * t + sweep * t**2 / (2.0 * self.duration_us)
+            )
+            out += np.sin(phase)
+        if self.tones:
+            out /= len(self.tones)
+        return envelope * out
+
+
+@dataclass
+class WaveformProgram:
+    """An ordered list of segments covering a whole move schedule."""
+
+    segments: list[Segment] = field(default_factory=list)
+
+    def append(self, segment: Segment) -> None:
+        self.segments.append(segment)
+
+    def extend(self, segments: list[Segment]) -> None:
+        self.segments.extend(segments)
+
+    @property
+    def total_duration_us(self) -> float:
+        return sum(segment.duration_us for segment in self.segments)
+
+    def n_samples(self, sample_rate_msps: float) -> int:
+        return sum(s.n_samples(sample_rate_msps) for s in self.segments)
+
+    def synthesize(self, sample_rate_msps: float = 500.0) -> np.ndarray:
+        """Concatenate all segment samples (use on small programs only)."""
+        if not self.segments:
+            return np.zeros(0, dtype=float)
+        return np.concatenate(
+            [s.synthesize(sample_rate_msps) for s in self.segments]
+        )
+
+    def __len__(self) -> int:
+        return len(self.segments)

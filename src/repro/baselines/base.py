@@ -1,0 +1,91 @@
+"""Algorithm registry shared by experiments, benchmarks and the CLI.
+
+Every rearrangement algorithm — the paper's QRM, the Sec. III-A typical
+procedure, and the three published baselines — registers a factory here
+under a stable name, so experiment runners can be parameterised by
+string.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.core.result import RearrangementResult
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import ArrayGeometry
+
+
+class RearrangementAlgorithm(Protocol):
+    """Anything that can analyse an array and emit a schedule."""
+
+    name: str
+
+    def schedule(self, array: AtomArray) -> RearrangementResult:
+        """Compute the move schedule for ``array``."""
+        ...
+
+
+AlgorithmFactory = Callable[[ArrayGeometry], RearrangementAlgorithm]
+
+_REGISTRY: dict[str, AlgorithmFactory] = {}
+
+
+def register_algorithm(name: str, factory: AlgorithmFactory) -> None:
+    """Register ``factory`` under ``name`` (overwrites silently in tests)."""
+    _REGISTRY[name] = factory
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a registration (primarily for test cleanup)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_algorithm(name: str, geometry: ArrayGeometry) -> RearrangementAlgorithm:
+    """Instantiate a registered algorithm for ``geometry``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown algorithm '{name}'; known: {known}") from None
+    return factory(geometry)
+
+
+def list_algorithms() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    """Register the built-in algorithms lazily to avoid import cycles."""
+    from repro.baselines.mta1 import Mta1Scheduler
+    from repro.baselines.psca import PscaScheduler
+    from repro.baselines.tetris import TetrisScheduler
+    from repro.config import QrmParameters, ScanMode
+    from repro.core.qrm import QrmScheduler
+    from repro.core.typical import TypicalScheduler
+
+    register_algorithm("qrm", lambda geo: QrmScheduler(geo))
+    register_algorithm(
+        "qrm-fresh",
+        lambda geo: QrmScheduler(
+            geo, QrmParameters(n_iterations=2, scan_mode=ScanMode.FRESH)
+        ),
+    )
+    register_algorithm(
+        "qrm-repair",
+        lambda geo: QrmScheduler(
+            geo, QrmParameters(enable_repair=True)
+        ),
+    )
+    register_algorithm(
+        "qrm-sen",
+        lambda geo: QrmScheduler(
+            geo, QrmParameters(scan_limit=max(1, geo.target_width // 2))
+        ),
+    )
+    register_algorithm("typical", lambda geo: TypicalScheduler(geo))
+    register_algorithm("tetris", lambda geo: TetrisScheduler(geo))
+    register_algorithm("psca", lambda geo: PscaScheduler(geo))
+    register_algorithm("mta1", lambda geo: Mta1Scheduler(geo))
+
+
+_register_builtins()

@@ -1,0 +1,99 @@
+"""Calibrated analysis-time cost models (C++-on-i7 equivalent).
+
+The paper measures its CPU numbers from a C++ implementation on an
+11th-gen i7 at 2.8 GHz.  Re-measuring the same algorithms in Python
+preserves ordering but not absolute microseconds, so every experiment
+reports both: the *measured* Python wall-clock and the *modelled*
+C++-equivalent time from the power laws below.
+
+Calibration anchors (documented; all from the paper's evaluation):
+
+* QRM-CPU:    54 us at W = 50 and ~255 us at W = 90 (speedups 54x/134x
+  against the ~1.0/1.9 us FPGA latencies, Fig. 7a) => exponent 2.64.
+* Tetris:     120x slower than the 0.9 us QRM-FPGA at W = 20 => 108 us
+  (Fig. 7b), and ~300 us at W = 50 (the 300x claim of Sec. V-B);
+  the two anchors imply the flat exponent ~1.1 of a per-row algorithm.
+* PSCA:       246x QRM-CPU at W = 20 (Fig. 7b); steeper growth from its
+  per-batch full re-planning.
+* MTA1:       ~1000x QRM-CPU at W = 20 (Fig. 7b); cubic-class growth
+  from per-defect reservoir re-scans.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerLawCost:
+    """``t_us = coeff_us * W ** exponent`` for an initial array size W."""
+
+    name: str
+    coeff_us: float
+    exponent: float
+
+    def __post_init__(self) -> None:
+        if self.coeff_us <= 0 or self.exponent <= 0:
+            raise ConfigurationError(
+                f"cost model {self.name!r} needs positive coefficients"
+            )
+
+    def time_us(self, size: int) -> float:
+        if size <= 0:
+            raise ConfigurationError(f"array size must be positive, got {size}")
+        return self.coeff_us * size**self.exponent
+
+
+def _power_law_through(
+    name: str, p1: tuple[float, float], p2: tuple[float, float]
+) -> PowerLawCost:
+    """Power law through two (size, time_us) anchor points."""
+    (w1, t1), (w2, t2) = p1, p2
+    exponent = math.log(t2 / t1) / math.log(w2 / w1)
+    coeff = t1 / w1**exponent
+    return PowerLawCost(name, coeff, exponent)
+
+
+#: QRM on CPU, anchored to Fig. 7(a): 54 us @ 50, 255 us @ 90.
+QRM_CPU_COST = _power_law_through("qrm", (50.0, 54.0), (90.0, 255.0))
+
+#: Tetris, anchored to Fig. 7(b) (120x the 0.9 us FPGA at 20 => 108 us)
+#: and to the Sec. V-B claim of a 300x FPGA speedup at 50 (=> ~300 us).
+TETRIS_COST = _power_law_through("tetris", (20.0, 108.0), (50.0, 300.0))
+
+#: PSCA, anchored to 246x QRM-CPU @ 20 with a steeper exponent.
+PSCA_COST = PowerLawCost(
+    "psca",
+    coeff_us=246.0 * QRM_CPU_COST.time_us(20) / 20.0**2.8,
+    exponent=2.8,
+)
+
+#: MTA1, anchored to ~1000x QRM-CPU @ 20 with cubic growth.
+MTA1_COST = PowerLawCost(
+    "mta1",
+    coeff_us=1000.0 * QRM_CPU_COST.time_us(20) / 20.0**3.0,
+    exponent=3.0,
+)
+
+COST_MODELS: dict[str, PowerLawCost] = {
+    "qrm": QRM_CPU_COST,
+    "typical": QRM_CPU_COST,  # same scan structure as QRM on one core
+    "tetris": TETRIS_COST,
+    "psca": PSCA_COST,
+    "mta1": MTA1_COST,
+}
+
+
+def model_cpu_time_us(algorithm: str, size: int) -> float:
+    """Modelled C++-equivalent analysis time for ``algorithm`` at ``size``."""
+    try:
+        model = COST_MODELS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(COST_MODELS))
+        raise KeyError(
+            f"no cost model for '{algorithm}'; known: {known}"
+        ) from None
+    return model.time_us(size)

@@ -1,0 +1,97 @@
+"""MTA1 baseline — sequential single-atom transport (Ebadi et al., 2021).
+
+The 256-atom programmable simulator of Ebadi et al. rearranges with one
+mobile tweezer at a time: every target defect is matched to a reservoir
+atom which is transported individually along a row-leg plus column-leg
+path.  There is no multi-atom parallelism, which is why the paper's
+Fig. 7(b) shows it roughly three orders of magnitude slower than QRM.
+
+Reimplementation notes (the original is closed source):
+
+* defects are served centre-outward, matching the published strategy of
+  building the array from the middle;
+* candidate atoms are ranked by Manhattan distance and the first one with
+  a collision-free L-path wins; each leg is an individual ``steps = k``
+  move of a single site;
+* the analysis deliberately re-scans the occupancy per defect (the
+  published algorithm recomputes reachability after every transport),
+  giving the natural O(defects x reservoir) cost profile.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.aod.executor import apply_parallel_move
+from repro.aod.move import ParallelMove
+from repro.aod.schedule import MoveSchedule
+from repro.core.repair import _legs_for
+from repro.core.result import RearrangementResult
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import ArrayGeometry
+
+
+class Mta1Scheduler:
+    """Sequential one-atom-at-a-time rearrangement."""
+
+    name = "mta1"
+
+    def __init__(self, geometry: ArrayGeometry):
+        self.geometry = geometry
+
+    def schedule(self, array: AtomArray) -> RearrangementResult:
+        if array.geometry != self.geometry:
+            raise ValueError(
+                "array geometry does not match the scheduler's geometry"
+            )
+        t_start = time.perf_counter()
+        live = array.copy()
+        moves = MoveSchedule(self.geometry, algorithm=self.name)
+        grid = live.grid
+        target = self.geometry.target_region
+        centre = (
+            (self.geometry.height - 1) / 2.0,
+            (self.geometry.width - 1) / 2.0,
+        )
+        ops = 0
+        unresolved = 0
+
+        defects = sorted(
+            live.target_defects(),
+            key=lambda rc: abs(rc[0] - centre[0]) + abs(rc[1] - centre[1]),
+        )
+        for defect in defects:
+            reservoir = [
+                site
+                for site in live.occupied_sites()
+                if not target.contains(*site)
+            ]
+            ops += len(reservoir) + self.geometry.n_sites
+            reservoir.sort(
+                key=lambda rc: abs(rc[0] - defect[0]) + abs(rc[1] - defect[1])
+            )
+            routed = False
+            for source in reservoir:
+                legs = _legs_for(grid, source, defect)
+                ops += 4
+                if legs is None:
+                    continue
+                for leg in legs:
+                    move = ParallelMove.of([leg], tag=f"mta1-{defect}")
+                    apply_parallel_move(grid, move)
+                    moves.append(move)
+                routed = True
+                break
+            if not routed:
+                unresolved += 1
+
+        return RearrangementResult(
+            algorithm=self.name,
+            initial=array.copy(),
+            final=live,
+            schedule=moves,
+            converged=unresolved == 0,
+            analysis_ops=ops,
+            wall_time_s=time.perf_counter() - t_start,
+            unresolved_defects=unresolved,
+        )

@@ -1,0 +1,175 @@
+"""PSCA baseline — parallel sorting with a multi-tweezer grid
+(Tian et al., Phys. Rev. Applied 19, 034048, 2023).
+
+Tian et al. assemble arbitrary defect-free arrays with a *limited* grid
+of mobile tweezers: atoms are first compressed column-wise toward the
+target row band, then balanced row-wise, with at most ``max_tweezers``
+lines addressed per physical move.  The per-step re-planning over the
+whole array is what makes its analysis markedly slower than QRM's single
+streaming scan (paper Fig. 7(b): ~246x slower than QRM-CPU).
+
+Reimplementation notes (the original is closed source):
+
+* one-step suffix shifts toward the array centre, exactly like the
+  typical procedure, but chunked into batches of at most
+  ``max_tweezers`` lines — more, smaller parallel moves;
+* the planner re-scans the full occupancy matrix before every batch
+  (the published algorithm recomputes its assignment matrix each cycle),
+  reproducing the heavier analysis cost profile;
+* phases alternate column-compression and row-compression until a full
+  sweep makes no progress.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.aod.executor import apply_parallel_move
+from repro.aod.move import LineShift, ParallelMove
+from repro.aod.schedule import MoveSchedule
+from repro.core.result import RearrangementResult
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import ArrayGeometry, Direction
+
+
+class PscaScheduler:
+    """Tweezer-budgeted centre-ward compression."""
+
+    name = "psca"
+
+    def __init__(
+        self,
+        geometry: ArrayGeometry,
+        max_tweezers: int = 8,
+        max_phases: int = 64,
+    ):
+        self.geometry = geometry
+        self.max_tweezers = max_tweezers
+        self.max_phases = max_phases
+
+    # -- planning helpers -----------------------------------------------
+
+    def _plan_lines(
+        self, grid: np.ndarray, vertical: bool
+    ) -> dict[tuple[Direction, int], list[int]]:
+        """Full re-scan: innermost hole per half-line, grouped for batching."""
+        height, width = grid.shape
+        groups: dict[tuple[Direction, int], list[int]] = {}
+        if vertical:
+            half = height // 2
+            for c in range(width):
+                col = grid[:, c]
+                hole = self._innermost_hole(col, half, inward_from_low=True)
+                if hole is not None:
+                    groups.setdefault((Direction.SOUTH, hole), []).append(c)
+                hole = self._innermost_hole(col, half, inward_from_low=False)
+                if hole is not None:
+                    groups.setdefault((Direction.NORTH, hole), []).append(c)
+        else:
+            half = width // 2
+            for r in range(height):
+                row = grid[r]
+                hole = self._innermost_hole(row, half, inward_from_low=True)
+                if hole is not None:
+                    groups.setdefault((Direction.EAST, hole), []).append(r)
+                hole = self._innermost_hole(row, half, inward_from_low=False)
+                if hole is not None:
+                    groups.setdefault((Direction.WEST, hole), []).append(r)
+        return groups
+
+    @staticmethod
+    def _innermost_hole(
+        line: np.ndarray, half: int, inward_from_low: bool
+    ) -> int | None:
+        """Innermost hole of one half-line with atoms outboard of it."""
+        n = line.shape[0]
+        if inward_from_low:
+            for idx in range(half - 1, -1, -1):
+                if not line[idx]:
+                    return idx if line[:idx].any() else None
+            return None
+        for idx in range(half, n):
+            if not line[idx]:
+                return idx if line[idx + 1 :].any() else None
+        return None
+
+    def _emit_batches(
+        self,
+        array: AtomArray,
+        schedule: MoveSchedule,
+        groups: dict[tuple[Direction, int], list[int]],
+        vertical: bool,
+    ) -> int:
+        """Execute each group in tweezer-budget chunks; returns shifts done."""
+        grid = array.grid
+        height, width = grid.shape
+        n_shifts = 0
+        for (direction, hole), lines in sorted(
+            groups.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+        ):
+            for start in range(0, len(lines), self.max_tweezers):
+                chunk = lines[start : start + self.max_tweezers]
+                shifts = []
+                for line in chunk:
+                    if direction in (Direction.EAST, Direction.SOUTH):
+                        span = (0, hole)
+                    else:
+                        span = (hole + 1, height if vertical else width)
+                    shifts.append(
+                        LineShift(
+                            direction=direction,
+                            line=line,
+                            span_start=span[0],
+                            span_stop=span[1],
+                        )
+                    )
+                move = ParallelMove.of(
+                    shifts, tag=f"psca-{direction.value}-h{hole}"
+                )
+                apply_parallel_move(grid, move)
+                schedule.append(move)
+                n_shifts += len(shifts)
+        return n_shifts
+
+    # -- public API -------------------------------------------------------
+
+    def schedule(self, array: AtomArray) -> RearrangementResult:
+        if array.geometry != self.geometry:
+            raise ValueError(
+                "array geometry does not match the scheduler's geometry"
+            )
+        t_start = time.perf_counter()
+        live = array.copy()
+        moves = MoveSchedule(self.geometry, algorithm=self.name)
+        ops = 0
+        converged = False
+        for _ in range(self.max_phases):
+            progressed = 0
+            while True:
+                groups = self._plan_lines(live.grid, vertical=True)
+                ops += self.geometry.n_sites
+                done = self._emit_batches(live, moves, groups, vertical=True)
+                progressed += done
+                if done == 0:
+                    break
+            while True:
+                groups = self._plan_lines(live.grid, vertical=False)
+                ops += self.geometry.n_sites
+                done = self._emit_batches(live, moves, groups, vertical=False)
+                progressed += done
+                if done == 0:
+                    break
+            if progressed == 0:
+                converged = True
+                break
+        return RearrangementResult(
+            algorithm=self.name,
+            initial=array.copy(),
+            final=live,
+            schedule=moves,
+            converged=converged,
+            analysis_ops=ops,
+            wall_time_s=time.perf_counter() - t_start,
+        )

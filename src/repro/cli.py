@@ -1,0 +1,232 @@
+"""Command-line interface.
+
+Examples::
+
+    repro rearrange --size 20 --seed 7 --render
+    repro rearrange --size 50 --algorithm tetris
+    repro figure 7a --trials 3
+    repro figure all
+    repro resources --size 90
+    repro trace --size 10
+    repro algorithms
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    run_ablation,
+    run_fig7a,
+    run_fig7b,
+    run_fig8,
+    run_headline,
+    run_loss_comparison,
+    run_success_sweep,
+    run_workflow_comparison,
+)
+from repro.analysis.feasibility import (
+    minimum_fill_for_target,
+    predict_compaction_fill,
+)
+from repro.aod.validator import validate_schedule
+from repro.baselines.base import get_algorithm, list_algorithms
+from repro.fpga.accelerator import QrmAccelerator
+from repro.fpga.bitvec import BitVector
+from repro.fpga.resources import ResourceModel
+from repro.fpga.shift_kernel import PipelinedShiftKernel
+from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.loading import load_uniform
+from repro.lattice.metrics import summarize
+from repro.lattice.render import render_side_by_side
+
+
+def _cmd_rearrange(args: argparse.Namespace) -> int:
+    geometry = ArrayGeometry.square(args.size, args.target)
+    array = load_uniform(geometry, args.fill, rng=args.seed)
+    algorithm = get_algorithm(args.algorithm, geometry)
+    result = algorithm.schedule(array)
+    report = validate_schedule(array, result.schedule)
+
+    print(result.summary())
+    print(report.format())
+    if args.fpga and args.algorithm == "qrm":
+        run = QrmAccelerator(geometry).run(array)
+        print(run.report.summary())
+    if args.render:
+        print()
+        print(render_side_by_side(array, result.final))
+    print()
+    print(summarize(result.final).format())
+    return 0 if report.ok else 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    which = args.which
+    trials = args.trials
+    outputs = []
+    if which in ("7a", "all"):
+        outputs.append(run_fig7a(trials=trials).format_table())
+    if which in ("7b", "all"):
+        outputs.append(run_fig7b(trials=trials).format_table())
+    if which in ("8", "all"):
+        outputs.append(run_fig8().format_table())
+    if which in ("headline", "all"):
+        outputs.append(run_headline().format_table())
+    if which in ("ablation", "all"):
+        outputs.append(run_ablation(trials=trials).format_table())
+    if which in ("success", "all"):
+        outputs.append(run_success_sweep(trials=trials).format_table())
+    if which in ("workflow", "all"):
+        outputs.append(run_workflow_comparison().format_table())
+    if which in ("loss", "all"):
+        outputs.append(run_loss_comparison(trials=trials).format_table())
+    if not outputs:
+        print(f"unknown figure '{which}'", file=sys.stderr)
+        return 2
+    print("\n\n".join(outputs))
+    return 0
+
+
+def _cmd_resources(args: argparse.Namespace) -> int:
+    report = ResourceModel().estimate(args.size)
+    print(report.format_table())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    geometry = ArrayGeometry.square(args.size)
+    array = load_uniform(geometry, args.fill, rng=args.seed)
+    frame = geometry.quadrant_frames()[0]
+    local = frame.extract(array.grid)
+    rows = [BitVector.from_array(local[u]) for u in range(local.shape[0])]
+    kernel = PipelinedShiftKernel(qw=geometry.half_width)
+    kernel.process(rows)
+    for cycle in (3, geometry.half_width + 1):
+        print(kernel.render_snapshot(cycle))
+        print()
+    return 0
+
+
+def _cmd_algorithms(_: argparse.Namespace) -> int:
+    for name in list_algorithms():
+        print(name)
+    return 0
+
+
+def _cmd_feasibility(args: argparse.Namespace) -> int:
+    geometry = ArrayGeometry.square(args.size, args.target)
+    estimate = predict_compaction_fill(geometry, args.fill)
+    print(estimate.format())
+    threshold = minimum_fill_for_target(geometry)
+    print(
+        f"loading probability needed for >=99.9% fill without repair: "
+        f"{threshold:.3f}"
+    )
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    geometry = ArrayGeometry.square(args.size)
+    array = load_uniform(geometry, 0.5, rng=args.seed)
+    accelerator = QrmAccelerator(geometry)
+    trace = accelerator.trace_iteration(array, iteration=args.iteration)
+    print(trace.render_timeline())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import qrm_quality_sweep
+
+    result = qrm_quality_sweep(
+        sizes=args.sizes, fills=args.fills, trials=args.trials
+    )
+    print(result.format_table(title="QRM assembly quality sweep"))
+    if args.csv:
+        path = result.write_csv(args.csv)
+        print(f"[written to {path}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of the DATE 2025 FPGA neutral-atom rearrangement "
+            "accelerator (QRM)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("rearrange", help="run one rearrangement")
+    p.add_argument("--size", type=int, default=20)
+    p.add_argument("--target", type=int, default=None)
+    p.add_argument("--fill", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--algorithm", default="qrm", choices=list_algorithms())
+    p.add_argument("--render", action="store_true")
+    p.add_argument("--fpga", action="store_true",
+                   help="also run the FPGA cycle model (qrm only)")
+    p.set_defaults(func=_cmd_rearrange)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument(
+        "which",
+        choices=["7a", "7b", "8", "headline", "ablation", "success",
+                 "workflow", "loss", "all"],
+    )
+    p.add_argument("--trials", type=int, default=3)
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser(
+        "feasibility",
+        help="analytic compaction-fill prediction for a geometry",
+    )
+    p.add_argument("--size", type=int, default=50)
+    p.add_argument("--target", type=int, default=None)
+    p.add_argument("--fill", type=float, default=0.5)
+    p.set_defaults(func=_cmd_feasibility)
+
+    p = sub.add_parser(
+        "timeline", help="FIFO-occupancy timeline of one iteration"
+    )
+    p.add_argument("--size", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iteration", type=int, default=0)
+    p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser(
+        "sweep", help="QRM assembly-quality sweep over size x fill"
+    )
+    p.add_argument("--sizes", type=int, nargs="+", default=[20, 30])
+    p.add_argument("--fills", type=float, nargs="+", default=[0.5, 0.6])
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--csv", type=str, default=None,
+                   help="also write the sweep to this CSV file")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("resources", help="FPGA resource estimate")
+    p.add_argument("--size", type=int, default=50)
+    p.set_defaults(func=_cmd_resources)
+
+    p = sub.add_parser("trace", help="Fig 6-style shift-kernel trace")
+    p.add_argument("--size", type=int, default=10)
+    p.add_argument("--fill", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("algorithms", help="list registered algorithms")
+    p.set_defaults(func=_cmd_algorithms)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

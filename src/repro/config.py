@@ -1,0 +1,90 @@
+"""Cross-cutting configuration objects for the QRM reproduction.
+
+Subsystem-specific configuration (camera, AWG, FPGA device budgets...)
+lives next to the subsystem; this module holds the parameters of the
+rearrangement *algorithm* itself, which are shared by the pure-Python
+scheduler (:mod:`repro.core`) and the FPGA accelerator model
+(:mod:`repro.fpga`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class ScanMode(enum.Enum):
+    """How the column pass of an iteration sees the matrix.
+
+    ``PIPELINED`` is the paper-faithful mode: the dataflow hardware streams
+    the row-pass transpose into the column pass, so the column pass
+    analyses the matrix *before* the row moves of the same iteration were
+    applied (Fig. 6 of the paper shows the column buffers holding the
+    original, pre-shift bits).  Stale commands are skipped at execution
+    time when their hole has already been filled, and the outer iteration
+    loop cleans up the residue — this is why the paper needs about four
+    iterations.
+
+    ``FRESH`` is the idealised software mode: the column pass reads the
+    matrix after the row moves were applied, so a single iteration reaches
+    the compaction fixpoint.  Used as a baseline in the ablation study.
+    """
+
+    PIPELINED = "pipelined"
+    FRESH = "fresh"
+
+
+@dataclass(frozen=True)
+class QrmParameters:
+    """Tunable parameters of the quadrant-based rearrangement method.
+
+    Attributes
+    ----------
+    n_iterations:
+        Maximum number of row-pass + column-pass rounds.  The paper uses
+        four; the scheduler stops early once a round emits no commands.
+    scan_mode:
+        Staleness model for the column pass, see :class:`ScanMode`.
+    merge_mirror_quadrants:
+        When true (paper behaviour), commands of mirror quadrants that
+        share a scan ordinal and hole position are merged into one
+        parallel move (NW+SW for west-side shifts, NE+SE for east-side
+        shifts, and the analogous north/south pairs for the column phase).
+    enable_repair:
+        Run the optional repair stage (individual atom moves) after the
+        quadrant compaction to fix residual target defects.  Off by
+        default: the paper's QRM does not include it.
+    max_repair_moves:
+        Safety bound on the number of individual repair moves.
+    scan_limit:
+        The ``s_en`` manual-control bound (paper Sec. IV-C): scan stages
+        at quadrant-local positions >= this value never issue shift
+        commands, preventing unnecessary shifts far from the centre.
+        ``None`` (default) scans the full quadrant width.
+    """
+
+    n_iterations: int = 4
+    scan_mode: ScanMode = ScanMode.PIPELINED
+    merge_mirror_quadrants: bool = True
+    enable_repair: bool = False
+    max_repair_moves: int = 4096
+    scan_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_iterations < 1:
+            raise ConfigurationError(
+                f"n_iterations must be >= 1, got {self.n_iterations}"
+            )
+        if self.max_repair_moves < 0:
+            raise ConfigurationError(
+                f"max_repair_moves must be >= 0, got {self.max_repair_moves}"
+            )
+        if self.scan_limit is not None and self.scan_limit < 1:
+            raise ConfigurationError(
+                f"scan_limit must be >= 1 or None, got {self.scan_limit}"
+            )
+
+
+DEFAULT_QRM_PARAMETERS = QrmParameters()

@@ -1,0 +1,36 @@
+"""QRM core: scan kernel, pass batching, schedulers, repair stage."""
+
+from repro.core.passes import Phase, PassOutcome, run_pass
+from repro.core.qrm import QrmScheduler, rearrange
+from repro.core.repair import RepairOutcome, repair_defects
+from repro.core.result import IterationStats, RearrangementResult
+from repro.core.scan import (
+    LineScanResult,
+    compact_line,
+    current_hole_position,
+    is_prefix_line,
+    is_young_diagram,
+    scan_axis,
+    scan_line,
+)
+from repro.core.typical import TypicalScheduler
+
+__all__ = [
+    "IterationStats",
+    "LineScanResult",
+    "PassOutcome",
+    "Phase",
+    "QrmScheduler",
+    "RearrangementResult",
+    "RepairOutcome",
+    "TypicalScheduler",
+    "compact_line",
+    "current_hole_position",
+    "is_prefix_line",
+    "is_young_diagram",
+    "rearrange",
+    "repair_defects",
+    "run_pass",
+    "scan_axis",
+    "scan_line",
+]

@@ -1,0 +1,280 @@
+"""Building and executing the per-pass move batches of QRM.
+
+A *pass* turns the scan results of all four quadrants into an ordered
+list of :class:`~repro.aod.move.ParallelMove` batches and executes them
+on the live grid as it goes (the scheduler must track the true occupancy
+to emit a schedule that replays cleanly).
+
+Batching implements the paper's Row Combination Unit (Sec. IV-C):
+
+* commands are drained round by round — round ``k`` holds every line's
+  k-th pending command, mirroring the statically-known drain order of the
+  four shift-command FIFOs;
+* inside a round, commands sharing the *current* hole position are merged
+  into one parallel move per direction, which merges the mirror quadrants
+  exactly as the paper describes (NW+SW for the west-side shift, NE+SE
+  for the east-side shift, and the N/S pairs in the column phase);
+* a command whose hole was filled in the meantime (stale column commands
+  in the pipelined scan mode) is skipped, as is a command whose span no
+  longer holds any atom ("empty shifts are removed").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aod.executor import apply_parallel_move
+from repro.aod.move import LineShift, ParallelMove
+from repro.core.scan import LineScanResult, scan_axis
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import Direction, Quadrant, QuadrantFrame
+
+
+class Phase(enum.Enum):
+    """Which axis a pass compresses."""
+
+    ROW = "row"
+    COLUMN = "column"
+
+
+#: Deterministic quadrant order used everywhere.
+QUADRANT_ORDER = (Quadrant.NW, Quadrant.NE, Quadrant.SW, Quadrant.SE)
+
+
+@dataclass
+class PassOutcome:
+    """Statistics and moves produced by one pass.
+
+    ``line_commands`` holds, per quadrant, the command count of every
+    scanned line in scan order (zeros included) — the FPGA cycle model
+    uses it to size the recorder/combiner token streams.
+    """
+
+    phase: Phase
+    moves: list[ParallelMove] = field(default_factory=list)
+    n_commands: int = 0
+    n_executed: int = 0
+    n_skipped_stale: int = 0
+    n_skipped_empty: int = 0
+    n_scanned_bits: int = 0
+    line_commands: dict[Quadrant, list[int]] = field(default_factory=dict)
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.moves)
+
+    def lines_with_commands(self, quadrant: Quadrant) -> int:
+        return sum(1 for n in self.line_commands.get(quadrant, []) if n)
+
+
+@dataclass
+class _LineState:
+    """Drain state of one line's pending command list."""
+
+    frame: QuadrantFrame
+    line: int
+    holes: tuple[int, ...]
+    n_positions: int
+    next_index: int = 0
+    executed: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.next_index >= len(self.holes)
+
+    @property
+    def current_hole(self) -> int:
+        """Scanned hole adjusted for the shifts already executed here."""
+        return self.holes[self.next_index] - self.executed
+
+
+def _span_to_shift(
+    frame: QuadrantFrame,
+    phase: Phase,
+    line: int,
+    cur_hole: int,
+    executed: int,
+    n_positions: int,
+) -> LineShift:
+    """Full-array line shift for one command in local coordinates.
+
+    The moved span covers every local position outboard of the current
+    hole, excluding the top ``executed`` positions which earlier shifts
+    of this line are guaranteed to have vacated.
+    """
+    local_lo = cur_hole + 1
+    local_hi = n_positions - executed  # exclusive
+    if phase is Phase.ROW:
+        full_line = frame.to_full(line, 0)[0]
+        a = frame.to_full(line, local_lo)[1]
+        b = frame.to_full(line, local_hi - 1)[1]
+        direction = frame.horizontal_inward
+    else:
+        full_line = frame.to_full(0, line)[1]
+        a = frame.to_full(local_lo, line)[0]
+        b = frame.to_full(local_hi - 1, line)[0]
+        direction = frame.vertical_inward
+    span_start, span_stop = (a, b + 1) if a <= b else (b, a + 1)
+    return LineShift(
+        direction=direction,
+        line=full_line,
+        span_start=span_start,
+        span_stop=span_stop,
+        steps=1,
+    )
+
+
+def _hole_site(
+    frame: QuadrantFrame, phase: Phase, line: int, cur_hole: int
+) -> tuple[int, int]:
+    """Full-array site of a command's current hole."""
+    if phase is Phase.ROW:
+        return frame.to_full(line, cur_hole)
+    return frame.to_full(cur_hole, line)
+
+
+def _span_has_atom(
+    grid: np.ndarray,
+    frame: QuadrantFrame,
+    phase: Phase,
+    line: int,
+    cur_hole: int,
+    executed: int,
+    n_positions: int,
+) -> bool:
+    """Does the command's span currently hold at least one atom?"""
+    local_lo = cur_hole + 1
+    local_hi = n_positions - executed
+    if local_lo >= local_hi:
+        return False
+    if phase is Phase.ROW:
+        r = frame.to_full(line, 0)[0]
+        c1 = frame.to_full(line, local_lo)[1]
+        c2 = frame.to_full(line, local_hi - 1)[1]
+        lo, hi = (c1, c2) if c1 <= c2 else (c2, c1)
+        return bool(grid[r, lo : hi + 1].any())
+    c = frame.to_full(0, line)[1]
+    r1 = frame.to_full(local_lo, line)[0]
+    r2 = frame.to_full(local_hi - 1, line)[0]
+    lo, hi = (r1, r2) if r1 <= r2 else (r2, r1)
+    return bool(grid[lo : hi + 1, c].any())
+
+
+def _direction_order(phase: Phase) -> tuple[Direction, Direction]:
+    if phase is Phase.ROW:
+        return (Direction.EAST, Direction.WEST)
+    return (Direction.SOUTH, Direction.NORTH)
+
+
+def run_pass(
+    array: AtomArray,
+    frames: dict[Quadrant, QuadrantFrame],
+    phase: Phase,
+    scan_source: np.ndarray,
+    merge_mirror: bool = True,
+    guard: bool = False,
+    scan_limit: int | None = None,
+) -> PassOutcome:
+    """Scan ``scan_source``, batch the commands, execute them on ``array``.
+
+    ``scan_source`` is the grid the scan reads — the live grid for a
+    fresh pass, or the iteration-start snapshot for the paper's pipelined
+    column pass.  ``guard=True`` enables the stale-command checks (hole
+    still empty, span still populated) against the live grid.
+    ``scan_limit`` forwards the ``s_en`` bound to the scans.
+    """
+    outcome = PassOutcome(phase=phase)
+    axis = 0 if phase is Phase.ROW else 1
+
+    states: list[_LineState] = []
+    for quadrant in QUADRANT_ORDER:
+        frame = frames[quadrant]
+        local = frame.extract(scan_source)
+        scans: list[LineScanResult] = scan_axis(local, axis, limit=scan_limit)
+        n_positions = local.shape[1] if phase is Phase.ROW else local.shape[0]
+        outcome.line_commands[quadrant] = [scan.n_commands for scan in scans]
+        for scan in scans:
+            outcome.n_scanned_bits += n_positions
+            outcome.n_commands += scan.n_commands
+            if scan.n_commands:
+                states.append(
+                    _LineState(
+                        frame=frame,
+                        line=scan.line,
+                        holes=scan.hole_positions,
+                        n_positions=n_positions,
+                    )
+                )
+
+    grid = array.grid
+    round_index = 0
+    while True:
+        # Candidates for this round: every line's next pending command.
+        groups: dict[tuple, list[tuple[_LineState, int]]] = {}
+        pending = False
+        for state in states:
+            if state.exhausted:
+                continue
+            pending = True
+            cur = state.current_hole
+            if guard:
+                hole_site = _hole_site(state.frame, phase, state.line, cur)
+                if grid[hole_site]:
+                    # A row move already filled this hole: stale command.
+                    state.next_index += 1
+                    outcome.n_skipped_stale += 1
+                    continue
+                if not _span_has_atom(
+                    grid, state.frame, phase, state.line, cur,
+                    state.executed, state.n_positions,
+                ):
+                    state.next_index += 1
+                    outcome.n_skipped_empty += 1
+                    continue
+            direction = (
+                state.frame.horizontal_inward
+                if phase is Phase.ROW
+                else state.frame.vertical_inward
+            )
+            if merge_mirror:
+                key = (cur, direction)
+            else:
+                key = (cur, direction, state.frame.quadrant)
+            groups.setdefault(key, []).append((state, cur))
+
+        if not pending:
+            break
+        if groups:
+            for direction in _direction_order(phase):
+                for key in sorted(
+                    (k for k in groups if k[1] is direction),
+                    key=lambda k: (k[0], k[2].value if len(k) > 2 else ""),
+                ):
+                    members = groups[key]
+                    shifts = []
+                    for state, cur in members:
+                        shifts.append(
+                            _span_to_shift(
+                                state.frame, phase, state.line, cur,
+                                state.executed, state.n_positions,
+                            )
+                        )
+                        state.next_index += 1
+                        state.executed += 1
+                    shifts.sort(key=lambda s: s.line)
+                    tag = f"{phase.value}-k{round_index}-h{key[0]}"
+                    if not merge_mirror:
+                        tag += f"-{key[2].value}"
+                    move = ParallelMove.of(shifts, tag=tag)
+                    apply_parallel_move(grid, move)
+                    outcome.moves.append(move)
+                    outcome.n_executed += len(shifts)
+        round_index += 1
+        if round_index > array.geometry.width + array.geometry.height:
+            # Safety net: each line has at most n_positions commands.
+            raise RuntimeError("pass failed to drain its command lists")
+
+    return outcome

@@ -1,0 +1,148 @@
+"""Residual-defect repair with individual atom transports (extension).
+
+Centre-ward quadrant compaction cannot always fill the target from a
+50 %-loaded array (the compaction fixpoint is a Young-diagram staircase
+per quadrant and atoms never move outboard — see DESIGN.md).  Real
+systems close the gap with a hand-off stage of individual moves; this
+module provides one: for every remaining target defect it transports the
+nearest reservoir atom along an L-shaped path of empty sites, one atom
+per move pair, in the style of the sequential baseline algorithms.
+
+This stage is *not* part of the paper's QRM; it is off by default and
+enabled through :class:`~repro.config.QrmParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aod.executor import apply_parallel_move
+from repro.aod.move import LineShift, ParallelMove
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import Direction
+
+
+@dataclass
+class RepairOutcome:
+    """Moves emitted by the repair stage plus what it could not fix."""
+
+    moves: list[ParallelMove] = field(default_factory=list)
+    filled: int = 0
+    unresolved: int = 0
+
+
+def _horizontal_leg(row: int, col_from: int, col_to: int) -> LineShift:
+    steps = abs(col_to - col_from)
+    direction = Direction.EAST if col_to > col_from else Direction.WEST
+    return LineShift(
+        direction=direction,
+        line=row,
+        span_start=col_from,
+        span_stop=col_from + 1,
+        steps=steps,
+    )
+
+
+def _vertical_leg(col: int, row_from: int, row_to: int) -> LineShift:
+    steps = abs(row_to - row_from)
+    direction = Direction.SOUTH if row_to > row_from else Direction.NORTH
+    return LineShift(
+        direction=direction,
+        line=col,
+        span_start=row_from,
+        span_stop=row_from + 1,
+        steps=steps,
+    )
+
+
+def _path_clear_horizontal(grid, row: int, col_from: int, col_to: int) -> bool:
+    """Are all sites strictly between and including the destination empty?"""
+    if col_from == col_to:
+        return True
+    lo, hi = (col_from + 1, col_to) if col_to > col_from else (col_to, col_from - 1)
+    return not grid[row, lo : hi + 1].any()
+
+
+def _path_clear_vertical(grid, col: int, row_from: int, row_to: int) -> bool:
+    if row_from == row_to:
+        return True
+    lo, hi = (row_from + 1, row_to) if row_to > row_from else (row_to, row_from - 1)
+    return not grid[lo : hi + 1, col].any()
+
+
+def _legs_for(
+    grid, source: tuple[int, int], dest: tuple[int, int]
+) -> list[LineShift] | None:
+    """L-path from source to dest through empty sites, or None.
+
+    Tries row-leg-then-column-leg, then column-leg-then-row-leg.
+    """
+    (r0, c0), (r1, c1) = source, dest
+    # Row first: (r0,c0) -> (r0,c1) -> (r1,c1)
+    if _path_clear_horizontal(grid, r0, c0, c1) and _path_clear_vertical(
+        grid, c1, r0, r1
+    ):
+        legs = []
+        if c0 != c1:
+            legs.append(_horizontal_leg(r0, c0, c1))
+        if r0 != r1:
+            legs.append(_vertical_leg(c1, r0, r1))
+        return legs
+    # Column first: (r0,c0) -> (r1,c0) -> (r1,c1)
+    if _path_clear_vertical(grid, c0, r0, r1) and _path_clear_horizontal(
+        grid, r1, c0, c1
+    ):
+        legs = []
+        if r0 != r1:
+            legs.append(_vertical_leg(c0, r0, r1))
+        if c0 != c1:
+            legs.append(_horizontal_leg(r1, c0, c1))
+        return legs
+    return None
+
+
+def repair_defects(array: AtomArray, max_moves: int = 4096) -> RepairOutcome:
+    """Fill remaining target defects of ``array`` in place.
+
+    Defects are processed centre-outward; each is matched to the nearest
+    reservoir atom that has a clear L-path.  Atoms that cannot be routed
+    are counted as unresolved rather than raising — the caller decides
+    whether a partial assembly is acceptable.
+    """
+    outcome = RepairOutcome()
+    geometry = array.geometry
+    target = geometry.target_region
+    grid = array.grid
+    centre = ((geometry.height - 1) / 2.0, (geometry.width - 1) / 2.0)
+
+    defects = sorted(
+        array.target_defects(),
+        key=lambda rc: abs(rc[0] - centre[0]) + abs(rc[1] - centre[1]),
+    )
+    for defect in defects:
+        if len(outcome.moves) >= max_moves:
+            outcome.unresolved += 1
+            continue
+        reservoir = [
+            site
+            for site in array.occupied_sites()
+            if not target.contains(*site)
+        ]
+        reservoir.sort(
+            key=lambda rc: abs(rc[0] - defect[0]) + abs(rc[1] - defect[1])
+        )
+        routed = False
+        for source in reservoir:
+            legs = _legs_for(grid, source, defect)
+            if legs is None:
+                continue
+            for leg in legs:
+                move = ParallelMove.of([leg], tag=f"repair-{defect}")
+                apply_parallel_move(grid, move)
+                outcome.moves.append(move)
+            outcome.filled += 1
+            routed = True
+            break
+        if not routed:
+            outcome.unresolved += 1
+    return outcome

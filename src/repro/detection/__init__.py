@@ -1,0 +1,32 @@
+"""Synthetic fluorescence imaging and atom detection (Fig. 1 front end)."""
+
+from repro.detection.camera import CameraConfig, DEFAULT_CAMERA
+from repro.detection.detect import (
+    DetectionResult,
+    detect_occupancy,
+    detection_fidelity,
+    site_signals,
+)
+from repro.detection.imaging import expected_image, render_image
+from repro.detection.psf import convolve2d_same, gaussian_kernel
+from repro.detection.threshold import (
+    bimodal_threshold,
+    otsu_threshold,
+    refine_threshold_midpoint,
+)
+
+__all__ = [
+    "CameraConfig",
+    "DEFAULT_CAMERA",
+    "DetectionResult",
+    "bimodal_threshold",
+    "convolve2d_same",
+    "detect_occupancy",
+    "detection_fidelity",
+    "expected_image",
+    "gaussian_kernel",
+    "otsu_threshold",
+    "refine_threshold_midpoint",
+    "render_image",
+    "site_signals",
+]

@@ -1,0 +1,70 @@
+"""Camera model for synthetic fluorescence imaging.
+
+The paper's workflow (Fig. 1) starts with a CMOS camera imaging the atom
+array; the binary occupancy matrix fed to the rearrangement algorithm
+comes from an atom-detection step on that image.  The paper itself
+evaluates on random matrices, but we provide the full imaging path so
+the end-to-end workflow is executable.  Defaults are typical for sCMOS
+fluorescence imaging of single atoms (hundreds of detected photons per
+atom against a weak background).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CameraConfig:
+    """Imaging parameters.
+
+    Attributes
+    ----------
+    pixels_per_site:
+        Square pixels imaged per lattice site (site pitch in pixels).
+    photons_per_atom:
+        Mean fluorescence photons collected from one atom per exposure.
+    psf_sigma_px:
+        Gaussian point-spread-function sigma, in pixels.
+    background_per_px:
+        Mean background photons per pixel per exposure (scattered light,
+        dark counts).
+    quantum_efficiency:
+        Photon-to-electron conversion efficiency.
+    read_noise_e:
+        RMS Gaussian read noise, electrons per pixel.
+    """
+
+    pixels_per_site: int = 4
+    photons_per_atom: float = 400.0
+    psf_sigma_px: float = 1.1
+    background_per_px: float = 4.0
+    quantum_efficiency: float = 0.8
+    read_noise_e: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.pixels_per_site < 1:
+            raise ConfigurationError("pixels_per_site must be >= 1")
+        if self.photons_per_atom <= 0:
+            raise ConfigurationError("photons_per_atom must be positive")
+        if self.psf_sigma_px <= 0:
+            raise ConfigurationError("psf_sigma_px must be positive")
+        if self.background_per_px < 0:
+            raise ConfigurationError("background_per_px must be >= 0")
+        if not 0 < self.quantum_efficiency <= 1:
+            raise ConfigurationError("quantum_efficiency must be in (0, 1]")
+        if self.read_noise_e < 0:
+            raise ConfigurationError("read_noise_e must be >= 0")
+
+    def image_shape(self, n_rows: int, n_cols: int) -> tuple[int, int]:
+        return (n_rows * self.pixels_per_site, n_cols * self.pixels_per_site)
+
+    @property
+    def mean_signal_e(self) -> float:
+        """Expected signal electrons from one atom (whole PSF)."""
+        return self.photons_per_atom * self.quantum_efficiency
+
+
+DEFAULT_CAMERA = CameraConfig()

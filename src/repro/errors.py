@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary while tests can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object was constructed with invalid values."""
+
+
+class GeometryError(ConfigurationError):
+    """An array geometry is inconsistent (odd sizes, target too large...)."""
+
+
+class LoadingError(ReproError):
+    """Stochastic loading was asked to do something impossible."""
+
+
+class MoveError(ReproError):
+    """A single move is malformed or cannot be applied to a grid."""
+
+
+class ConstraintViolationError(MoveError):
+    """A parallel move violates the crossed-AOD hardware constraints."""
+
+
+class ScheduleValidationError(ReproError):
+    """A full schedule failed validation against its initial array."""
+
+
+class SimulationError(ReproError):
+    """The FPGA cycle-level simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The dataflow simulation stopped making progress before finishing."""
+
+
+class DetectionError(ReproError):
+    """The imaging/detection pipeline could not produce an occupancy map."""
+
+
+class WaveformError(ReproError):
+    """The AWG compiler could not translate a schedule into waveforms."""

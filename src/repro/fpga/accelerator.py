@@ -1,0 +1,270 @@
+"""Top-level QRM accelerator model (paper Fig. 5).
+
+Layering:
+
+* **function** — the movement schedule is produced by the same code path
+  as the pure-Python golden scheduler (:class:`~repro.core.qrm.QrmScheduler`
+  with the paper's pipelined parameters), so the accelerator's output is
+  bit-identical to the golden model by construction.  The hardware-truth
+  links are tested separately: the register-level shift kernel
+  (:mod:`repro.fpga.shift_kernel`) is asserted bit-exact against the
+  functional scan, and the Load Vector flip path against the frame
+  transforms.
+* **cycles** — a synchronous dataflow simulation of the Fig. 5 pipeline
+  (4x Load Vector -> 4x Shift Kernel -> 4x Recorder -> Row Combination
+  -> Output Concatenation -> AXI) is run per iteration with real FIFOs
+  and back-pressure; its cycle count, plus the AXI/DDR transfer and
+  PS-control overheads, gives the reported latency at the configured
+  250 MHz clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import DEFAULT_QRM_PARAMETERS, QrmParameters
+from repro.core.passes import PassOutcome, Phase
+from repro.core.qrm import QrmScheduler
+from repro.core.result import RearrangementResult
+from repro.errors import SimulationError
+from repro.fpga.axi import AxiTransferModel
+from repro.fpga.config import DEFAULT_FPGA_CONFIG, FpgaConfig
+from repro.fpga.load_data import LoadDataModule
+from repro.fpga.output_concat import AxiWriteSink, OutputConcatUnit
+from repro.fpga.packets import packets_needed
+from repro.fpga.quadrant_processor import build_lane, iteration_tokens
+from repro.fpga.row_combination import RowCombinationUnit
+from repro.fpga.sim import Simulator
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import ArrayGeometry, Quadrant
+
+
+@dataclass
+class AcceleratorReport:
+    """Cycle-level accounting of one accelerator invocation."""
+
+    size: int
+    clock_mhz: float
+    control_cycles: int
+    load_cycles: int
+    iteration_cycles: list[int] = field(default_factory=list)
+    writeback_cycles: int = 0
+    n_input_packets: int = 0
+    n_output_packets: int = 0
+    n_records: int = 0
+    module_busy: dict[str, int] = field(default_factory=dict)
+    fifo_stats: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.control_cycles
+            + self.load_cycles
+            + sum(self.iteration_cycles)
+            + self.writeback_cycles
+        )
+
+    @property
+    def time_us(self) -> float:
+        return self.total_cycles / self.clock_mhz
+
+    def summary(self) -> str:
+        iters = " + ".join(str(c) for c in self.iteration_cycles)
+        return (
+            f"{self.size}x{self.size}: {self.total_cycles} cycles "
+            f"({self.time_us:.2f} us @ {self.clock_mhz:.0f} MHz) = "
+            f"ctrl {self.control_cycles} + load {self.load_cycles} + "
+            f"iters [{iters}] + writeback {self.writeback_cycles}; "
+            f"{self.n_input_packets} pkts in, {self.n_output_packets} pkts out"
+        )
+
+
+@dataclass
+class AcceleratorRun:
+    """Functional result plus the cycle-level report."""
+
+    result: RearrangementResult
+    report: AcceleratorReport
+
+    @property
+    def schedule(self):
+        return self.result.schedule
+
+    def record_words(self) -> list[int]:
+        """The movement records as 32-bit words, in execution order."""
+        from repro.fpga.movement_record import encode_schedule
+
+        return encode_schedule(self.schedule)
+
+    def output_packets(self, packet_bits: int = 1024):
+        """The packed output stream the PS reads back from DDR."""
+        from repro.fpga.movement_record import RECORD_BITS
+        from repro.fpga.packets import pack_words
+
+        return pack_words(self.record_words(), RECORD_BITS, packet_bits)
+
+    def decode_output(self, packets, packet_bits: int = 1024):
+        """PS-side decode: packets back into line shifts (round trip)."""
+        from repro.fpga.movement_record import RECORD_BITS, decode_shift
+        from repro.fpga.packets import unpack_words
+
+        n_words = len(self.record_words())
+        words = unpack_words(packets, RECORD_BITS, n_words, packet_bits)
+        return [decode_shift(word) for word in words]
+
+
+class QrmAccelerator:
+    """Cycle-level model of the FPGA rearrangement accelerator."""
+
+    def __init__(
+        self,
+        geometry: ArrayGeometry,
+        params: QrmParameters = DEFAULT_QRM_PARAMETERS,
+        config: FpgaConfig = DEFAULT_FPGA_CONFIG,
+    ):
+        if geometry.width != geometry.height:
+            raise SimulationError(
+                "the accelerator model assumes a square array"
+            )
+        self.geometry = geometry
+        self.params = params
+        self.config = config
+        self.frames = {q: geometry.quadrant_frame(q) for q in Quadrant}
+        self.scheduler = QrmScheduler(geometry, params)
+        self.ldm = LoadDataModule(self.frames, config.packet_bits)
+        self.axi = AxiTransferModel(setup_cycles=config.axi_setup_cycles)
+
+    # -- cycle model -------------------------------------------------------
+
+    def _simulate_iteration(
+        self, row_pass, col_pass, trace_every: int | None = None
+    ):
+        """Run the Fig. 5 dataflow for one iteration; returns cycle stats."""
+        config = self.config
+        qw = self.geometry.half_width
+        sim = Simulator()
+        trace = sim.attach_trace(trace_every) if trace_every else None
+
+        lanes = []
+        for quadrant in Quadrant:
+            tokens = iteration_tokens(quadrant, row_pass, col_pass, qw)
+            lanes.append(build_lane(sim, quadrant, tokens, qw, config))
+
+        merged = sim.new_fifo("merged", config.fifo_depth)
+        packets = sim.new_fifo("out_packets", config.fifo_depth)
+
+        combiner = RowCombinationUnit(
+            "row_combination",
+            lanes=[lane.out for lane in lanes],
+            out=merged,
+            per_cycle=config.combiner_per_cycle,
+        )
+        combiner.set_upstream_done(
+            lambda: all(lane.recorder.done for lane in lanes)
+        )
+        packer = OutputConcatUnit(
+            "ocm",
+            inp=merged,
+            out=packets,
+            record_bits=config.record_bits,
+            packet_bits=config.packet_bits,
+        )
+        packer.set_upstream_done(lambda: combiner.done)
+        sink = AxiWriteSink("axi_write", packets)
+        sink.set_upstream_done(lambda: packer.done)
+
+        sim.add_module(combiner)
+        sim.add_module(packer)
+        sim.add_module(sink)
+
+        outcome = sim.run()
+        return (
+            outcome.cycles,
+            outcome.module_busy,
+            outcome.fifo_stats,
+            packer.records_packed,
+            packer.packets_emitted,
+            trace,
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, array: AtomArray) -> AcceleratorRun:
+        """Analyse ``array``: golden-function schedule + cycle report."""
+        if array.geometry != self.geometry:
+            raise SimulationError(
+                "array geometry does not match the accelerator's geometry"
+            )
+        result = self.scheduler.schedule(array)
+
+        config = self.config
+        n_input_packets = packets_needed(
+            self.geometry.n_sites, config.packet_bits
+        )
+        # Load: one AXI burst plus the four Load Vector flip pipelines
+        # (2-stage) running at one packet per cycle.
+        load_cycles = self.axi.transfer_cycles(n_input_packets) + 2
+
+        report = AcceleratorReport(
+            size=self.geometry.width,
+            clock_mhz=config.clock_mhz,
+            control_cycles=config.control_overhead_cycles,
+            load_cycles=load_cycles,
+            n_input_packets=n_input_packets,
+        )
+
+        # The PL schedule is static: the hardware always runs the configured
+        # iteration count, scanning every line even when the algorithm has
+        # already converged.  Pad converged-early runs with empty passes so
+        # the cycle count reflects the fixed hardware schedule.
+        passes = list(result.pass_outcomes)
+        while len(passes) < 2 * self.params.n_iterations:
+            passes.append(PassOutcome(phase=Phase.ROW))
+            passes.append(PassOutcome(phase=Phase.COLUMN))
+
+        for index in range(0, len(passes), 2):
+            row_pass = passes[index]
+            col_pass = passes[index + 1]
+            cycles, busy, fstats, records, out_packets, _ = (
+                self._simulate_iteration(row_pass, col_pass)
+            )
+            report.iteration_cycles.append(cycles + config.inter_pass_cycles)
+            report.n_records += records
+            report.n_output_packets += out_packets
+            for name, value in busy.items():
+                report.module_busy[name] = report.module_busy.get(name, 0) + value
+            report.fifo_stats.update(fstats)
+
+        # Final matrix write-back shares the output AXI channel.
+        matrix_packets = packets_needed(self.geometry.n_sites, config.packet_bits)
+        report.writeback_cycles = self.axi.transfer_cycles(matrix_packets)
+
+        return AcceleratorRun(result=result, report=report)
+
+    def latency_us(self, array: AtomArray) -> float:
+        """Convenience: just the simulated analysis latency."""
+        return self.run(array).report.time_us
+
+    def trace_iteration(self, array: AtomArray, iteration: int = 0,
+                        every: int = 1):
+        """Cycle trace of one iteration's dataflow (for inspection).
+
+        Returns a :class:`~repro.fpga.sim.SimulationTrace` whose
+        ``render_timeline()`` shows the FIFO occupancies of the Fig. 5
+        pipeline filling and draining.
+        """
+        result = self.scheduler.schedule(array)
+        passes = list(result.pass_outcomes)
+        while len(passes) < 2 * self.params.n_iterations:
+            passes.append(PassOutcome(phase=Phase.ROW))
+            passes.append(PassOutcome(phase=Phase.COLUMN))
+        index = 2 * iteration
+        if not 0 <= index < len(passes):
+            raise SimulationError(
+                f"iteration {iteration} out of range "
+                f"(run has {len(passes) // 2} iterations)"
+            )
+        *_, trace = self._simulate_iteration(
+            passes[index], passes[index + 1], trace_every=every
+        )
+        return trace

@@ -1,0 +1,44 @@
+"""AXI/DDR transfer cost model.
+
+The accelerator exchanges 1024-bit packets with DDR through an AXI
+master; a burst pays a fixed setup (address handshake, DDR latency) and
+then streams one packet per cycle.  The PS-side Python API that triggers
+the run adds a one-off control overhead accounted for in
+:class:`~repro.fpga.config.FpgaConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AxiTransferModel:
+    """Burst transfer cost in cycles."""
+
+    setup_cycles: int = 16
+    packets_per_cycle: int = 1
+    max_burst_packets: int = 256
+
+    def __post_init__(self) -> None:
+        if self.setup_cycles < 0:
+            raise ConfigurationError("setup_cycles must be >= 0")
+        if self.packets_per_cycle < 1 or self.max_burst_packets < 1:
+            raise ConfigurationError(
+                "packets_per_cycle and max_burst_packets must be >= 1"
+            )
+
+    def n_bursts(self, n_packets: int) -> int:
+        if n_packets <= 0:
+            return 0
+        return math.ceil(n_packets / self.max_burst_packets)
+
+    def transfer_cycles(self, n_packets: int) -> int:
+        """Cycles to move ``n_packets`` in one direction."""
+        if n_packets <= 0:
+            return 0
+        stream = math.ceil(n_packets / self.packets_per_cycle)
+        return self.n_bursts(n_packets) * self.setup_cycles + stream

@@ -1,0 +1,89 @@
+"""Movement Recording Unit — command words to memory-format records.
+
+The recording unit tracks, for every emitted shift, "the original
+location of atoms, their directional shifts, and the number of steps
+taken" (paper Sec. IV-B), already restored to full-array coordinates.
+This module defines the 32-bit record layout used on the output stream
+and its exact encode/decode round trip.
+
+Record layout (LSB first):
+
+====== ====== =========================================
+bits   field  meaning
+====== ====== =========================================
+0-1    dir    0=N, 1=S, 2=E, 3=W
+2-7    steps  step count (1-63)
+8-15   line   row index (horizontal) / column (vertical)
+16-23  start  span start along the move axis
+24-31  stop   span stop (exclusive)
+====== ====== =========================================
+
+Eight-bit coordinate fields support arrays up to 256x256, comfortably
+above the paper's 90x90 maximum.
+"""
+
+from __future__ import annotations
+
+from repro.aod.move import LineShift, ParallelMove
+from repro.errors import SimulationError
+from repro.lattice.geometry import Direction
+
+RECORD_BITS = 32
+
+_DIR_CODE = {
+    Direction.NORTH: 0,
+    Direction.SOUTH: 1,
+    Direction.EAST: 2,
+    Direction.WEST: 3,
+}
+_CODE_DIR = {code: direction for direction, code in _DIR_CODE.items()}
+
+_FIELD_MAX = {"steps": 63, "line": 255, "start": 255, "stop": 255}
+
+
+def encode_shift(shift: LineShift) -> int:
+    """Encode one line shift as a 32-bit record word."""
+    if shift.steps > _FIELD_MAX["steps"]:
+        raise SimulationError(f"steps {shift.steps} exceeds record field")
+    for name, value in (
+        ("line", shift.line),
+        ("start", shift.span_start),
+        ("stop", shift.span_stop),
+    ):
+        if value > _FIELD_MAX[name]:
+            raise SimulationError(
+                f"{name} {value} exceeds 8-bit record field"
+            )
+    return (
+        _DIR_CODE[shift.direction]
+        | (shift.steps << 2)
+        | (shift.line << 8)
+        | (shift.span_start << 16)
+        | (shift.span_stop << 24)
+    )
+
+
+def decode_shift(word: int) -> LineShift:
+    """Inverse of :func:`encode_shift`."""
+    if word < 0 or word >= (1 << RECORD_BITS):
+        raise SimulationError(f"record word {word} outside 32-bit range")
+    return LineShift(
+        direction=_CODE_DIR[word & 0x3],
+        steps=(word >> 2) & 0x3F,
+        line=(word >> 8) & 0xFF,
+        span_start=(word >> 16) & 0xFF,
+        span_stop=(word >> 24) & 0xFF,
+    )
+
+
+def encode_move(move: ParallelMove) -> list[int]:
+    """All record words of one parallel move (one per line shift)."""
+    return [encode_shift(shift) for shift in move.shifts]
+
+
+def encode_schedule(moves) -> list[int]:
+    """Record words of a whole schedule, in execution order."""
+    words: list[int] = []
+    for move in moves:
+        words.extend(encode_move(move))
+    return words

@@ -1,0 +1,95 @@
+"""Output Concatenation Module (OCM) — record packing and write-back.
+
+Merged movement records are packed into 1024-bit packets and streamed
+back to DDR; the packer emits at most one packet per cycle and flushes a
+partial packet when the upstream drains.  The AXI write sink retires one
+packet per cycle (burst setup is charged separately by the accelerator's
+transfer model).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fpga.sim import Fifo
+from repro.fpga.sim.module import Module
+
+
+class OutputConcatUnit(Module):
+    """Packs merged record tokens into fixed-size packets."""
+
+    def __init__(
+        self,
+        name: str,
+        inp: Fifo,
+        out: Fifo,
+        record_bits: int,
+        packet_bits: int,
+    ):
+        super().__init__(name)
+        self.inp = inp
+        self.out = out
+        self.record_bits = record_bits
+        self.packet_bits = packet_bits
+        self.bits_pending = 0
+        self.packets_emitted = 0
+        self.records_packed = 0
+        self._upstream_done: Callable[[], bool] = lambda: False
+
+    def set_upstream_done(self, probe: Callable[[], bool]) -> None:
+        self._upstream_done = probe
+
+    def _emit_packet(self) -> bool:
+        if self.out.push(("packet", self.packets_emitted)):
+            self.packets_emitted += 1
+            return True
+        return False
+
+    def tick(self, cycle: int) -> None:
+        # Emit at most one full packet per cycle.
+        if self.bits_pending >= self.packet_bits:
+            if self._emit_packet():
+                self.bits_pending -= self.packet_bits
+                self.busy_cycles += 1
+            return
+        if not self.inp.empty:
+            kind, n_records = self.inp.pop()
+            assert kind == "merged"
+            self.bits_pending += n_records * self.record_bits
+            self.records_packed += n_records
+            self.busy_cycles += 1
+            return
+        # Upstream dry: flush the partial packet.
+        if self._upstream_done() and self.bits_pending > 0:
+            if self._emit_packet():
+                self.bits_pending = 0
+                self.busy_cycles += 1
+
+    @property
+    def done(self) -> bool:
+        return (
+            self.bits_pending == 0 and self.inp.empty and self._upstream_done()
+        )
+
+
+class AxiWriteSink(Module):
+    """Retires one output packet per cycle."""
+
+    def __init__(self, name: str, inp: Fifo):
+        super().__init__(name)
+        self.inp = inp
+        self.packets = 0
+        self._upstream_done: Callable[[], bool] = lambda: False
+
+    def set_upstream_done(self, probe: Callable[[], bool]) -> None:
+        self._upstream_done = probe
+
+    def tick(self, cycle: int) -> None:
+        if not self.inp.empty:
+            self.inp.pop()
+            self.packets += 1
+            self.busy_cycles += 1
+
+    @property
+    def done(self) -> bool:
+        return self.inp.empty and self._upstream_done()

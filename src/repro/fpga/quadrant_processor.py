@@ -1,0 +1,108 @@
+"""Quadrant Processing Module (QPM) — one lane of the dataflow pipeline.
+
+Each QPM couples a shift kernel with a movement recording unit.  For the
+cycle model, a lane is: a token source (one token per scanned line, with
+ready times reflecting when that line's data exists), an II=1 pipeline
+of depth ``Qw + extra`` (the bit-serial scan), and the recorder stage.
+
+Per iteration a lane processes ``2 * Qw`` tokens: the ``Qw`` rows of the
+row pass (ready back to back) followed by the ``Qw`` columns of the
+column pass.  Column ``v`` only completes in the transpose buffers ``v``
+cycles after the last row entered the scan (bit ``v`` of the final row
+is inspected at its stage ``v``), which is exactly the ready-time
+schedule loaded here — reproducing the paper's "2 x Qw plus the
+processing time of a single row" per-iteration latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.passes import PassOutcome
+from repro.fpga.config import FpgaConfig
+from repro.fpga.sim import Fifo, PipelineModule, RateConsumerModule, Simulator, SourceModule
+from repro.lattice.geometry import Quadrant
+
+
+@dataclass(frozen=True)
+class LineToken:
+    """One scanned line travelling through a QPM lane."""
+
+    quadrant: Quadrant
+    phase: str
+    line: int
+    n_commands: int
+
+
+@dataclass
+class QpmLane:
+    """Handles to the sim modules of one quadrant lane."""
+
+    quadrant: Quadrant
+    source: SourceModule
+    kernel: PipelineModule
+    recorder: RateConsumerModule
+    out: Fifo
+
+
+def iteration_tokens(
+    quadrant: Quadrant,
+    row_pass: PassOutcome,
+    col_pass: PassOutcome,
+    qw: int,
+) -> list[tuple[int, LineToken]]:
+    """(ready_cycle, token) schedule for one iteration of one lane."""
+    tokens: list[tuple[int, LineToken]] = []
+    row_counts = row_pass.line_commands.get(quadrant, [0] * qw)
+    col_counts = col_pass.line_commands.get(quadrant, [0] * qw)
+    for u, n_commands in enumerate(row_counts):
+        tokens.append(
+            (u, LineToken(quadrant, "row", u, n_commands))
+        )
+    # Column v completes once the last row's bit v has been scanned:
+    # last row enters at qw - 1 and reaches stage v at qw - 1 + v + 1.
+    base = qw
+    for v, n_commands in enumerate(col_counts):
+        tokens.append(
+            (base + v, LineToken(quadrant, "column", v, n_commands))
+        )
+    return tokens
+
+
+def build_lane(
+    sim: Simulator,
+    quadrant: Quadrant,
+    tokens: list[tuple[int, LineToken]],
+    qw: int,
+    config: FpgaConfig,
+) -> QpmLane:
+    """Instantiate source -> kernel -> recorder for one quadrant."""
+    name = quadrant.value.lower()
+    to_kernel = sim.new_fifo(f"{name}.to_kernel", config.fifo_depth)
+    to_recorder = sim.new_fifo(f"{name}.to_recorder", config.fifo_depth)
+    out = sim.new_fifo(f"{name}.records", config.fifo_depth)
+
+    source = SourceModule(f"{name}.load_vector", to_kernel)
+    source.load(tokens)
+    kernel = PipelineModule(
+        f"{name}.shift_kernel",
+        inp=to_kernel,
+        out=to_recorder,
+        depth=qw + config.kernel_pipeline_depth_extra,
+    )
+    kernel.set_upstream_done(lambda src=source: src.done)
+    recorder = RateConsumerModule(
+        f"{name}.recorder",
+        inp=to_recorder,
+        out=out,
+        latency=config.recorder_latency,
+    )
+    recorder.set_upstream_done(lambda ker=kernel: ker.done)
+
+    sim.add_module(source)
+    sim.add_module(kernel)
+    sim.add_module(recorder)
+    return QpmLane(
+        quadrant=quadrant, source=source, kernel=kernel,
+        recorder=recorder, out=out,
+    )

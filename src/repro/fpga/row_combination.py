@@ -1,0 +1,69 @@
+"""Row Combination Unit — merging the four quadrants' command streams.
+
+"All four command buffers are processed at the same time, and it is also
+statically known which shift commands finish at which time" (paper
+Sec. IV-C): each cycle the unit drains one command word from every
+quadrant lane and emits one merged token carrying the records that will
+reach the output stream.  Mirror-quadrant merging itself (which shifts
+coalesce into one physical move) is the scheduler's batching logic; here
+we model its cycle cost and stream occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fpga.quadrant_processor import LineToken
+from repro.fpga.sim import Fifo
+from repro.fpga.sim.module import Module
+
+
+class RowCombinationUnit(Module):
+    """Synchronous 4-way stream merger."""
+
+    def __init__(
+        self,
+        name: str,
+        lanes: list[Fifo],
+        out: Fifo,
+        per_cycle: int = 4,
+    ):
+        super().__init__(name)
+        self.lanes = lanes
+        self.out = out
+        self.per_cycle = max(1, per_cycle)
+        self.merged_tokens = 0
+        self.records_out = 0
+        self._upstream_done: Callable[[], bool] = lambda: False
+        self._pending: list[LineToken] | None = None
+
+    def set_upstream_done(self, probe: Callable[[], bool]) -> None:
+        self._upstream_done = probe
+
+    def tick(self, cycle: int) -> None:
+        # Retire a previously merged token first (one merged push/cycle).
+        if self._pending is not None:
+            n_records = sum(1 for t in self._pending if t.n_commands)
+            if self.out.push(("merged", n_records)):
+                self.merged_tokens += 1
+                self.records_out += n_records
+                self._pending = None
+            else:
+                return
+        popped: list[LineToken] = []
+        for lane in self.lanes:
+            if len(popped) >= self.per_cycle:
+                break
+            if not lane.empty:
+                popped.append(lane.pop())
+        if popped:
+            self.busy_cycles += 1
+            self._pending = popped
+
+    @property
+    def done(self) -> bool:
+        return (
+            self._pending is None
+            and all(lane.empty for lane in self.lanes)
+            and self._upstream_done()
+        )

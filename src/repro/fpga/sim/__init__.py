@@ -1,0 +1,24 @@
+"""Cycle-level synchronous dataflow simulation substrate."""
+
+from repro.fpga.sim.fifo import Fifo, FifoStats
+from repro.fpga.sim.module import (
+    Module,
+    PipelineModule,
+    RateConsumerModule,
+    SourceModule,
+)
+from repro.fpga.sim.simulator import SimulationResult, Simulator
+from repro.fpga.sim.trace import SimulationTrace, TraceSample
+
+__all__ = [
+    "Fifo",
+    "FifoStats",
+    "Module",
+    "PipelineModule",
+    "RateConsumerModule",
+    "SimulationResult",
+    "SimulationTrace",
+    "Simulator",
+    "SourceModule",
+    "TraceSample",
+]

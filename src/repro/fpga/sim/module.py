@@ -1,0 +1,149 @@
+"""Generic synchronous modules for the dataflow simulator.
+
+Each module implements ``tick(cycle)``, called once per clock cycle in
+dataflow order, and ``done`` which is True once the module has finished
+all the work it will ever do.  The concrete accelerator blocks (LDM,
+QPM, Row Combination, OCM) are built from these primitives in their own
+modules, mirroring the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Any, Callable
+
+from repro.fpga.sim.fifo import Fifo
+
+
+class Module(ABC):
+    """Base class for synchronous dataflow modules."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.busy_cycles = 0
+
+    @abstractmethod
+    def tick(self, cycle: int) -> None:
+        """Advance one clock cycle."""
+
+    @property
+    @abstractmethod
+    def done(self) -> bool:
+        """True once no further work will ever be produced or consumed."""
+
+
+class SourceModule(Module):
+    """Emits pre-scheduled tokens, at most one per cycle.
+
+    Tokens are ``(ready_cycle, payload)`` pairs: a token may not be
+    emitted before its ready cycle.  This models both a plain streaming
+    source (all ready at 0) and the transpose hand-off, where column ``v``
+    only becomes complete ``v`` cycles after the last row entered the
+    scan pipeline.
+    """
+
+    def __init__(self, name: str, out: Fifo):
+        super().__init__(name)
+        self.out = out
+        self._tokens: deque[tuple[int, Any]] = deque()
+
+    def load(self, tokens: list[tuple[int, Any]]) -> None:
+        self._tokens.extend(tokens)
+
+    def tick(self, cycle: int) -> None:
+        if not self._tokens:
+            return
+        ready, payload = self._tokens[0]
+        if cycle < ready:
+            return
+        if self.out.push(payload):
+            self._tokens.popleft()
+            self.busy_cycles += 1
+
+    @property
+    def done(self) -> bool:
+        return not self._tokens
+
+
+class PipelineModule(Module):
+    """An initiation-interval-1 pipeline of fixed depth.
+
+    Accepts one token per cycle from ``inp``; the token leaves into
+    ``out`` exactly ``depth`` cycles later (unless the output stalls).
+    This models the shift kernel's bit-serial scan: depth = Qw bit
+    stages plus a handful of register stages.
+    """
+
+    def __init__(self, name: str, inp: Fifo, out: Fifo, depth: int,
+                 transform: Callable[[Any], Any] | None = None):
+        super().__init__(name)
+        self.inp = inp
+        self.out = out
+        self.depth = max(1, depth)
+        self.transform = transform
+        self._in_flight: deque[tuple[int, Any]] = deque()
+        self._upstream_done: Callable[[], bool] = lambda: False
+
+    def set_upstream_done(self, probe: Callable[[], bool]) -> None:
+        self._upstream_done = probe
+
+    def tick(self, cycle: int) -> None:
+        # Retire the head token when its latency has elapsed.
+        if self._in_flight:
+            finish, payload = self._in_flight[0]
+            if cycle >= finish:
+                result = self.transform(payload) if self.transform else payload
+                if self.out.push(result):
+                    self._in_flight.popleft()
+        # Accept one new token (II = 1).
+        if not self.inp.empty and len(self._in_flight) < self.depth:
+            payload = self.inp.pop()
+            self._in_flight.append((cycle + self.depth, payload))
+            self.busy_cycles += 1
+
+    @property
+    def done(self) -> bool:
+        return (
+            not self._in_flight and self.inp.empty and self._upstream_done()
+        )
+
+
+class RateConsumerModule(Module):
+    """Consumes tokens at a fixed rate and forwards them after a latency."""
+
+    def __init__(self, name: str, inp: Fifo, out: Fifo | None,
+                 latency: int = 1, per_cycle: int = 1):
+        super().__init__(name)
+        self.inp = inp
+        self.out = out
+        self.latency = max(1, latency)
+        self.per_cycle = max(1, per_cycle)
+        self._in_flight: deque[tuple[int, Any]] = deque()
+        self._upstream_done: Callable[[], bool] = lambda: False
+        self.consumed = 0
+
+    def set_upstream_done(self, probe: Callable[[], bool]) -> None:
+        self._upstream_done = probe
+
+    def tick(self, cycle: int) -> None:
+        while self._in_flight and cycle >= self._in_flight[0][0]:
+            finish, payload = self._in_flight[0]
+            if self.out is None or self.out.push(payload):
+                self._in_flight.popleft()
+            else:
+                break
+        accepted = 0
+        while accepted < self.per_cycle and not self.inp.empty:
+            payload = self.inp.pop()
+            self._in_flight.append((cycle + self.latency, payload))
+            self.consumed += 1
+            accepted += 1
+        if accepted:
+            self.busy_cycles += 1
+
+    @property
+    def done(self) -> bool:
+        return (
+            not self._in_flight and self.inp.empty and self._upstream_done()
+        )

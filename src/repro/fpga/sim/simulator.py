@@ -1,0 +1,83 @@
+"""Synchronous driver for a graph of dataflow modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError
+from repro.fpga.sim.fifo import Fifo
+from repro.fpga.sim.module import Module
+from repro.fpga.sim.trace import SimulationTrace
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulator run."""
+
+    cycles: int
+    module_busy: dict[str, int] = field(default_factory=dict)
+    fifo_stats: dict[str, dict] = field(default_factory=dict)
+
+
+class Simulator:
+    """Steps modules in dataflow order until every module reports done.
+
+    Modules are ticked in registration order within a cycle, which for an
+    acyclic graph registered producer-first models flow-through
+    registered handoff (a token pushed in cycle t is at the earliest
+    consumed in the consumer's tick of cycle t + 1 when the consumer
+    precedes the producer, or t when it follows it — register placement
+    is part of the configured pipeline depths, not of the driver).
+    """
+
+    def __init__(self, max_cycles: int = 1_000_000):
+        self.max_cycles = max_cycles
+        self.modules: list[Module] = []
+        self.fifos: list[Fifo] = []
+        self.trace: SimulationTrace | None = None
+
+    def attach_trace(self, every: int = 1) -> SimulationTrace:
+        """Record per-cycle FIFO/module state during :meth:`run`."""
+        self.trace = SimulationTrace(every=every)
+        return self.trace
+
+    def add_module(self, module: Module) -> Module:
+        self.modules.append(module)
+        return module
+
+    def add_fifo(self, fifo: Fifo) -> Fifo:
+        self.fifos.append(fifo)
+        return fifo
+
+    def new_fifo(self, name: str, capacity: int = 64) -> Fifo:
+        return self.add_fifo(Fifo(name, capacity))
+
+    def run(self, start_cycle: int = 0) -> SimulationResult:
+        """Run until completion; returns cycle count from ``start_cycle``."""
+        cycle = start_cycle
+        while True:
+            if all(module.done for module in self.modules):
+                break
+            if cycle - start_cycle >= self.max_cycles:
+                stuck = [m.name for m in self.modules if not m.done]
+                raise DeadlockError(
+                    f"simulation exceeded {self.max_cycles} cycles; "
+                    f"unfinished modules: {stuck}"
+                )
+            for module in self.modules:
+                module.tick(cycle)
+            if self.trace is not None:
+                self.trace.record(cycle, self.fifos, self.modules)
+            cycle += 1
+        return SimulationResult(
+            cycles=cycle - start_cycle,
+            module_busy={m.name: m.busy_cycles for m in self.modules},
+            fifo_stats={
+                f.name: {
+                    "pushed": f.stats.total_pushed,
+                    "max_occupancy": f.stats.max_occupancy,
+                    "stalls": f.stats.stall_cycles,
+                }
+                for f in self.fifos
+            },
+        )

@@ -1,0 +1,54 @@
+"""Trap-array substrate: geometry, occupancy state, loading, metrics."""
+
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import (
+    ArrayGeometry,
+    Direction,
+    Quadrant,
+    QuadrantFrame,
+    Region,
+)
+from repro.lattice.loading import (
+    DEFAULT_FILL,
+    as_rng,
+    load_checkerboard,
+    load_exact,
+    load_feasible,
+    load_gradient,
+    load_uniform,
+)
+from repro.lattice.metrics import (
+    ArrayStats,
+    defect_count,
+    fill_fraction,
+    is_defect_free,
+    summarize,
+    surplus_atoms,
+    target_fill_fraction,
+)
+from repro.lattice.render import render_array, render_side_by_side
+
+__all__ = [
+    "ArrayGeometry",
+    "ArrayStats",
+    "AtomArray",
+    "DEFAULT_FILL",
+    "Direction",
+    "Quadrant",
+    "QuadrantFrame",
+    "Region",
+    "as_rng",
+    "defect_count",
+    "fill_fraction",
+    "is_defect_free",
+    "load_checkerboard",
+    "load_exact",
+    "load_feasible",
+    "load_gradient",
+    "load_uniform",
+    "render_array",
+    "render_side_by_side",
+    "summarize",
+    "surplus_atoms",
+    "target_fill_fraction",
+]

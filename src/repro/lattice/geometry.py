@@ -1,0 +1,343 @@
+"""Geometry of the optical-trap array: regions, directions, quadrants.
+
+The paper works on a ``W x W`` square lattice of optical traps with a
+centred ``T x T`` target region, split into four quadrants (NW, NE, SW,
+SE).  Each quadrant is given a *local frame* whose origin ``(u=0, v=0)``
+is the quadrant corner adjacent to the array centre, with both local axes
+pointing away from the centre.  In this frame the QRM compression always
+moves atoms toward index 0 along both axes, which is what lets a single
+shift-kernel schedule serve all four quadrants (paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+class Direction(enum.Enum):
+    """Compass direction on the trap grid.
+
+    ``NORTH`` decreases the row index, ``SOUTH`` increases it; ``WEST``
+    decreases the column index, ``EAST`` increases it.  This matches the
+    usual matrix convention with row 0 drawn at the top.
+    """
+
+    NORTH = "N"
+    SOUTH = "S"
+    EAST = "E"
+    WEST = "W"
+
+    @property
+    def delta(self) -> tuple[int, int]:
+        """Unit step ``(d_row, d_col)`` taken by an atom moving this way."""
+        return _DELTAS[self]
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self in (Direction.EAST, Direction.WEST)
+
+    @property
+    def opposite(self) -> "Direction":
+        return _OPPOSITES[self]
+
+
+_DELTAS = {
+    Direction.NORTH: (-1, 0),
+    Direction.SOUTH: (1, 0),
+    Direction.EAST: (0, 1),
+    Direction.WEST: (0, -1),
+}
+
+_OPPOSITES = {
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+}
+
+
+class Quadrant(enum.Enum):
+    """The four quadrants of the trap array."""
+
+    NW = "NW"
+    NE = "NE"
+    SW = "SW"
+    SE = "SE"
+
+    @property
+    def is_north(self) -> bool:
+        return self in (Quadrant.NW, Quadrant.NE)
+
+    @property
+    def is_west(self) -> bool:
+        return self in (Quadrant.NW, Quadrant.SW)
+
+    @property
+    def horizontal_mirror(self) -> "Quadrant":
+        """The quadrant sharing this one's column range (N/S mirror)."""
+        return _H_MIRROR[self]
+
+    @property
+    def vertical_mirror(self) -> "Quadrant":
+        """The quadrant sharing this one's row range (E/W mirror)."""
+        return _V_MIRROR[self]
+
+
+_H_MIRROR = {
+    Quadrant.NW: Quadrant.SW,
+    Quadrant.SW: Quadrant.NW,
+    Quadrant.NE: Quadrant.SE,
+    Quadrant.SE: Quadrant.NE,
+}
+
+_V_MIRROR = {
+    Quadrant.NW: Quadrant.NE,
+    Quadrant.NE: Quadrant.NW,
+    Quadrant.SW: Quadrant.SE,
+    Quadrant.SE: Quadrant.SW,
+}
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned rectangle of trap sites, in full-array coordinates."""
+
+    row0: int
+    col0: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.height < 0 or self.width < 0:
+            raise GeometryError(
+                f"region sides must be non-negative, got {self.height}x{self.width}"
+            )
+
+    @property
+    def n_sites(self) -> int:
+        return self.height * self.width
+
+    @property
+    def row_slice(self) -> slice:
+        return slice(self.row0, self.row0 + self.height)
+
+    @property
+    def col_slice(self) -> slice:
+        return slice(self.col0, self.col0 + self.width)
+
+    @property
+    def row_stop(self) -> int:
+        return self.row0 + self.height
+
+    @property
+    def col_stop(self) -> int:
+        return self.col0 + self.width
+
+    def contains(self, row: int, col: int) -> bool:
+        return (
+            self.row0 <= row < self.row0 + self.height
+            and self.col0 <= col < self.col0 + self.width
+        )
+
+    def sites(self) -> list[tuple[int, int]]:
+        """All ``(row, col)`` pairs inside the region, row-major."""
+        return [
+            (r, c)
+            for r in range(self.row0, self.row_stop)
+            for c in range(self.col0, self.col_stop)
+        ]
+
+    def intersect(self, other: "Region") -> "Region":
+        r0 = max(self.row0, other.row0)
+        c0 = max(self.col0, other.col0)
+        r1 = min(self.row_stop, other.row_stop)
+        c1 = min(self.col_stop, other.col_stop)
+        return Region(r0, c0, max(0, r1 - r0), max(0, c1 - c0))
+
+
+@dataclass(frozen=True)
+class QuadrantFrame:
+    """Mapping between one quadrant's local frame and full-array coordinates.
+
+    Local coordinates are ``(u, v)`` with ``u`` along rows and ``v`` along
+    columns, both in ``[0, n_rows) x [0, n_cols)``.  ``(0, 0)`` is the
+    quadrant corner adjacent to the array centre; larger ``u``/``v`` move
+    away from the centre.  A QRM shift toward smaller ``v`` therefore
+    always moves atoms toward the centre column, whatever the quadrant.
+    """
+
+    quadrant: Quadrant
+    row0: int
+    col0: int
+    n_rows: int
+    n_cols: int
+    flip_rows: bool
+    flip_cols: bool
+
+    def to_full(self, u: int, v: int) -> tuple[int, int]:
+        """Convert local ``(u, v)`` to full-array ``(row, col)``."""
+        row = self.row0 + (self.n_rows - 1 - u if self.flip_rows else u)
+        col = self.col0 + (self.n_cols - 1 - v if self.flip_cols else v)
+        return row, col
+
+    def to_local(self, row: int, col: int) -> tuple[int, int]:
+        """Convert full-array ``(row, col)`` to local ``(u, v)``."""
+        dr = row - self.row0
+        dc = col - self.col0
+        u = self.n_rows - 1 - dr if self.flip_rows else dr
+        v = self.n_cols - 1 - dc if self.flip_cols else dc
+        return u, v
+
+    @property
+    def region(self) -> Region:
+        return Region(self.row0, self.col0, self.n_rows, self.n_cols)
+
+    @property
+    def horizontal_inward(self) -> Direction:
+        """Full-array direction of a local shift toward smaller ``v``."""
+        return Direction.EAST if self.quadrant.is_west else Direction.WEST
+
+    @property
+    def vertical_inward(self) -> Direction:
+        """Full-array direction of a local shift toward smaller ``u``."""
+        return Direction.SOUTH if self.quadrant.is_north else Direction.NORTH
+
+    def extract(self, grid: np.ndarray) -> np.ndarray:
+        """Return this quadrant of ``grid`` in local orientation (a copy)."""
+        block = grid[
+            self.row0 : self.row0 + self.n_rows,
+            self.col0 : self.col0 + self.n_cols,
+        ]
+        if self.flip_rows:
+            block = block[::-1, :]
+        if self.flip_cols:
+            block = block[:, ::-1]
+        return np.ascontiguousarray(block)
+
+    def insert(self, grid: np.ndarray, local: np.ndarray) -> None:
+        """Write a local-orientation block back into ``grid`` in place."""
+        if local.shape != (self.n_rows, self.n_cols):
+            raise GeometryError(
+                f"local block shape {local.shape} does not match quadrant "
+                f"{self.quadrant.value} ({self.n_rows}x{self.n_cols})"
+            )
+        block = local
+        if self.flip_rows:
+            block = block[::-1, :]
+        if self.flip_cols:
+            block = block[:, ::-1]
+        grid[
+            self.row0 : self.row0 + self.n_rows,
+            self.col0 : self.col0 + self.n_cols,
+        ] = block
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Dimensions of the trap array and its centred target region.
+
+    All four extents must be positive and even: evenness is what allows
+    the clean four-way quadrant split with the target shared equally
+    between quadrants (paper Fig. 4).
+    """
+
+    width: int
+    height: int
+    target_width: int
+    target_height: int
+
+    def __post_init__(self) -> None:
+        for name in ("width", "height", "target_width", "target_height"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise GeometryError(f"{name} must be positive, got {value}")
+            if value % 2 != 0:
+                raise GeometryError(f"{name} must be even, got {value}")
+        if self.target_width > self.width:
+            raise GeometryError(
+                f"target_width {self.target_width} exceeds width {self.width}"
+            )
+        if self.target_height > self.height:
+            raise GeometryError(
+                f"target_height {self.target_height} exceeds height {self.height}"
+            )
+
+    @classmethod
+    def square(cls, size: int, target_size: int | None = None) -> "ArrayGeometry":
+        """Square array with a centred square target.
+
+        When ``target_size`` is omitted, the paper's headline ratio is
+        used: a 30x30 target from a 50x50 array, i.e. ``0.6 * size``
+        rounded down to the nearest even number.
+        """
+        if target_size is None:
+            target_size = int(size * 0.6)
+            target_size -= target_size % 2
+            target_size = max(2, target_size)
+        return cls(
+            width=size,
+            height=size,
+            target_width=target_size,
+            target_height=target_size,
+        )
+
+    @property
+    def n_sites(self) -> int:
+        return self.width * self.height
+
+    @property
+    def n_target_sites(self) -> int:
+        return self.target_width * self.target_height
+
+    @property
+    def half_width(self) -> int:
+        return self.width // 2
+
+    @property
+    def half_height(self) -> int:
+        return self.height // 2
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.height, self.width)
+
+    @property
+    def bounds(self) -> Region:
+        return Region(0, 0, self.height, self.width)
+
+    @property
+    def target_region(self) -> Region:
+        return Region(
+            row0=(self.height - self.target_height) // 2,
+            col0=(self.width - self.target_width) // 2,
+            height=self.target_height,
+            width=self.target_width,
+        )
+
+    def quadrant_frame(self, quadrant: Quadrant) -> QuadrantFrame:
+        """Local frame of ``quadrant`` (see :class:`QuadrantFrame`)."""
+        return QuadrantFrame(
+            quadrant=quadrant,
+            row0=0 if quadrant.is_north else self.half_height,
+            col0=0 if quadrant.is_west else self.half_width,
+            n_rows=self.half_height,
+            n_cols=self.half_width,
+            flip_rows=quadrant.is_north,
+            flip_cols=quadrant.is_west,
+        )
+
+    def quadrant_frames(self) -> tuple[QuadrantFrame, ...]:
+        """All four frames in the fixed order NW, NE, SW, SE."""
+        return tuple(self.quadrant_frame(q) for q in Quadrant)
+
+    def quadrant_target_region(self, quadrant: Quadrant) -> Region:
+        """The part of the target region that falls inside ``quadrant``."""
+        return self.target_region.intersect(self.quadrant_frame(quadrant).region)
+
+    def contains(self, row: int, col: int) -> bool:
+        return 0 <= row < self.height and 0 <= col < self.width

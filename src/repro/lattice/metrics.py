@@ -1,0 +1,82 @@
+"""Occupancy metrics used by the experiments and the validator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import Quadrant, Region
+
+
+def fill_fraction(array: AtomArray, region: Region | None = None) -> float:
+    """Fraction of sites occupied inside ``region`` (whole array if None)."""
+    if region is None:
+        region = array.geometry.bounds
+    if region.n_sites == 0:
+        return 1.0
+    return array.region_count(region) / region.n_sites
+
+
+def target_fill_fraction(array: AtomArray) -> float:
+    """Fraction of the target region's sites that hold an atom."""
+    return fill_fraction(array, array.geometry.target_region)
+
+
+def defect_count(array: AtomArray, region: Region | None = None) -> int:
+    """Number of empty sites inside ``region`` (target region if None)."""
+    if region is None:
+        region = array.geometry.target_region
+    return region.n_sites - array.region_count(region)
+
+
+def is_defect_free(array: AtomArray) -> bool:
+    """True when every target site holds an atom."""
+    return defect_count(array) == 0
+
+
+def surplus_atoms(array: AtomArray) -> int:
+    """Atoms sitting outside the target region (the reservoir)."""
+    return array.n_atoms - array.target_count()
+
+
+@dataclass(frozen=True)
+class ArrayStats:
+    """Summary of one occupancy state."""
+
+    n_atoms: int
+    n_sites: int
+    fill_fraction: float
+    target_count: int
+    target_sites: int
+    target_fill_fraction: float
+    defects: int
+    surplus: int
+    quadrant_counts: dict[str, int]
+
+    def format(self) -> str:
+        lines = [
+            f"atoms: {self.n_atoms}/{self.n_sites} "
+            f"(fill {self.fill_fraction:.1%})",
+            f"target: {self.target_count}/{self.target_sites} "
+            f"(fill {self.target_fill_fraction:.1%}, {self.defects} defects)",
+            f"reservoir surplus: {self.surplus}",
+            "quadrants: "
+            + ", ".join(f"{k}={v}" for k, v in self.quadrant_counts.items()),
+        ]
+        return "\n".join(lines)
+
+
+def summarize(array: AtomArray) -> ArrayStats:
+    """Collect the standard metric set for one array state."""
+    geo = array.geometry
+    return ArrayStats(
+        n_atoms=array.n_atoms,
+        n_sites=geo.n_sites,
+        fill_fraction=fill_fraction(array),
+        target_count=array.target_count(),
+        target_sites=geo.n_target_sites,
+        target_fill_fraction=target_fill_fraction(array),
+        defects=defect_count(array),
+        surplus=surplus_atoms(array),
+        quadrant_counts={q.value: array.quadrant_count(q) for q in Quadrant},
+    )

@@ -1,0 +1,49 @@
+"""ASCII rendering of atom arrays for examples, the CLI and debugging."""
+
+from __future__ import annotations
+
+from repro.lattice.array import AtomArray
+
+OCCUPIED = "●"  # ●
+EMPTY = "·"  # ·
+TARGET_EMPTY = "○"  # ○ : an unfilled target site stands out
+
+
+def render_array(
+    array: AtomArray,
+    show_target: bool = True,
+    occupied: str = OCCUPIED,
+    empty: str = EMPTY,
+) -> str:
+    """Render the occupancy grid; target-region defects use ``○``."""
+    target = array.geometry.target_region
+    lines = []
+    for r in range(array.geometry.height):
+        cells = []
+        for c in range(array.geometry.width):
+            if array.grid[r, c]:
+                cells.append(occupied)
+            elif show_target and target.contains(r, c):
+                cells.append(TARGET_EMPTY)
+            else:
+                cells.append(empty)
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def render_side_by_side(
+    left: AtomArray,
+    right: AtomArray,
+    labels: tuple[str, str] = ("before", "after"),
+    gap: str = "    ",
+) -> str:
+    """Render two arrays next to each other with headers."""
+    left_lines = render_array(left).splitlines()
+    right_lines = render_array(right).splitlines()
+    width = max(len(line) for line in left_lines) if left_lines else 0
+    header = f"{labels[0]:<{width}}{gap}{labels[1]}"
+    body = [
+        f"{l:<{width}}{gap}{r}"
+        for l, r in zip(left_lines, right_lines)
+    ]
+    return "\n".join([header, *body])

@@ -1,0 +1,17 @@
+"""Physical loss models for the rearrangement process."""
+
+from repro.physics.loss import (
+    DEFAULT_LOSS_MODEL,
+    LossModel,
+    LossReport,
+    expected_atom_survival,
+    simulate_losses,
+)
+
+__all__ = [
+    "DEFAULT_LOSS_MODEL",
+    "LossModel",
+    "LossReport",
+    "expected_atom_survival",
+    "simulate_losses",
+]

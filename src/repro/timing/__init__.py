@@ -1,0 +1,17 @@
+"""Timing models and measurement helpers."""
+
+from repro.timing.latency import (
+    LatencyComparison,
+    cycles_to_us,
+    measure_best_of,
+    measure_wall,
+    us_to_cycles,
+)
+
+__all__ = [
+    "LatencyComparison",
+    "cycles_to_us",
+    "measure_best_of",
+    "measure_wall",
+    "us_to_cycles",
+]

@@ -1,0 +1,145 @@
+"""End-to-end control-loop latency budgets for the Fig. 2 architectures.
+
+Architecture (a): the camera image lands on a frame-grabber FPGA, crosses
+to the host over PCIe, is detected and scheduled on the CPU, and the
+resulting moves cross back to the AWG FPGA.  Architecture (b): detection
+and scheduling run on the same FPGA that receives the image and drives
+the AWG, so only on-chip hops remain.  The delta between the two budgets
+is the paper's motivation for moving the rearrangement analysis into
+the PL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.cost_model import model_cpu_time_us
+from repro.detection.camera import CameraConfig, DEFAULT_CAMERA
+from repro.errors import ConfigurationError
+from repro.fpga.config import DEFAULT_FPGA_CONFIG, FpgaConfig
+from repro.workflow.links import AXI_DDR, COAXPRESS_12, LinkModel, PCIE_GEN3_X8
+
+
+@dataclass(frozen=True)
+class BudgetItem:
+    """One contribution to an end-to-end latency budget."""
+
+    stage: str
+    time_us: float
+
+
+@dataclass
+class LatencyBudget:
+    """An ordered latency breakdown."""
+
+    architecture: str
+    items: list[BudgetItem] = field(default_factory=list)
+
+    def add(self, stage: str, time_us: float) -> None:
+        self.items.append(BudgetItem(stage, time_us))
+
+    @property
+    def total_us(self) -> float:
+        return sum(item.time_us for item in self.items)
+
+    def format(self) -> str:
+        lines = [f"architecture {self.architecture}:"]
+        for item in self.items:
+            lines.append(f"  {item.stage:<28}{item.time_us:>10.2f} us")
+        lines.append(f"  {'total':<28}{self.total_us:>10.2f} us")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ControlSystemModel:
+    """Shared parameters of both architectures.
+
+    ``cpu_detection_us_per_mpx`` is the host-side image-processing rate;
+    ``fpga_detection_cycles_per_px`` the streaming PL detector rate
+    (threshold-per-pixel designs process one pixel per cycle).
+    """
+
+    camera: CameraConfig = DEFAULT_CAMERA
+    fpga: FpgaConfig = DEFAULT_FPGA_CONFIG
+    camera_link: LinkModel = COAXPRESS_12
+    host_link: LinkModel = PCIE_GEN3_X8
+    onchip_link: LinkModel = AXI_DDR
+    pixel_bits: int = 16
+    cpu_detection_us_per_mpx: float = 2000.0
+    fpga_detection_cycles_per_px: float = 1.0
+    host_software_overhead_us: float = 25.0
+    awg_setup_us: float = 5.0
+
+    def image_bits(self, size: int) -> int:
+        pps = self.camera.pixels_per_site
+        return size * size * pps * pps * self.pixel_bits
+
+    def n_pixels(self, size: int) -> int:
+        pps = self.camera.pixels_per_site
+        return size * size * pps * pps
+
+
+def architecture_a_budget(
+    size: int,
+    fpga_analysis_us: float | None = None,
+    model: ControlSystemModel = ControlSystemModel(),
+) -> LatencyBudget:
+    """Host-mediated architecture (Fig. 2a). Scheduling runs on the CPU."""
+    if size < 2:
+        raise ConfigurationError("size must be >= 2")
+    del fpga_analysis_us  # analysis happens on the host in this architecture
+    budget = LatencyBudget("a (host-mediated)")
+    bits = model.image_bits(size)
+    budget.add("camera -> grabber (CXP)", model.camera_link.transfer_us(bits))
+    budget.add("grabber -> host (PCIe)", model.host_link.transfer_us(bits))
+    budget.add(
+        "host driver/interrupt overhead", model.host_software_overhead_us
+    )
+    mpx = model.n_pixels(size) / 1e6
+    budget.add("host atom detection", model.cpu_detection_us_per_mpx * mpx)
+    budget.add("host QRM scheduling", model_cpu_time_us("qrm", size))
+    moves_bits = size * size  # movement list, generously one bit per site
+    budget.add("host -> AWG FPGA (PCIe)", model.host_link.transfer_us(moves_bits))
+    budget.add("AWG setup", model.awg_setup_us)
+    return budget
+
+
+def architecture_b_budget(
+    size: int,
+    fpga_analysis_us: float,
+    model: ControlSystemModel = ControlSystemModel(),
+) -> LatencyBudget:
+    """Fully-on-FPGA architecture (Fig. 2b).
+
+    ``fpga_analysis_us`` is the accelerator's simulated analysis latency
+    for this array size (from :class:`~repro.fpga.QrmAccelerator`).
+    """
+    if size < 2:
+        raise ConfigurationError("size must be >= 2")
+    budget = LatencyBudget("b (fully on FPGA)")
+    bits = model.image_bits(size)
+    budget.add("camera -> FPGA (CXP)", model.camera_link.transfer_us(bits))
+    # The streaming detector consumes pixels as the camera link delivers
+    # them, so only the flush of its last image row is exposed latency.
+    pps = model.camera.pixels_per_site
+    flush_cycles = model.fpga_detection_cycles_per_px * size * pps * pps
+    budget.add(
+        "on-FPGA detection (flush)", flush_cycles / model.fpga.clock_mhz
+    )
+    budget.add("QRM accelerator analysis", fpga_analysis_us)
+    moves_bits = size * size
+    budget.add("PL -> AWG (on-chip)", model.onchip_link.transfer_us(moves_bits))
+    budget.add("AWG setup", model.awg_setup_us)
+    return budget
+
+
+def compare_architectures(
+    size: int,
+    fpga_analysis_us: float,
+    model: ControlSystemModel = ControlSystemModel(),
+) -> dict[str, LatencyBudget]:
+    """Both budgets side by side."""
+    return {
+        "a": architecture_a_budget(size, None, model),
+        "b": architecture_b_budget(size, fpga_analysis_us, model),
+    }

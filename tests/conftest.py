@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.loading import load_uniform
+
+
+@pytest.fixture
+def geo8() -> ArrayGeometry:
+    """The paper's Fig. 3 demo geometry: 8x8 with a 4x4 target."""
+    return ArrayGeometry.square(8, 4)
+
+
+@pytest.fixture
+def geo20() -> ArrayGeometry:
+    """The Fig. 7(b) benchmark geometry: 20x20 with a 12x12 target."""
+    return ArrayGeometry.square(20, 12)
+
+
+@pytest.fixture
+def geo50() -> ArrayGeometry:
+    """The headline geometry: 50x50 with a 30x30 target."""
+    return ArrayGeometry.square(50, 30)
+
+
+@pytest.fixture
+def array20(geo20: ArrayGeometry) -> AtomArray:
+    """A reproducible 50 %-filled 20x20 array."""
+    return load_uniform(geo20, 0.5, rng=1234)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)

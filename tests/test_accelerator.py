@@ -1,0 +1,128 @@
+"""Tests for the top-level accelerator model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aod.validator import validate_schedule
+from repro.config import QrmParameters, ScanMode
+from repro.core.qrm import QrmScheduler
+from repro.errors import SimulationError
+from repro.fpga.accelerator import QrmAccelerator
+from repro.fpga.config import FpgaConfig
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.loading import load_uniform
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_schedule_identical_to_golden_scheduler(self, geo20, seed):
+        array = load_uniform(geo20, 0.5, rng=seed)
+        run = QrmAccelerator(geo20).run(array)
+        golden = QrmScheduler(geo20).schedule(array)
+        assert run.result.schedule.moves == golden.schedule.moves
+        assert run.result.final == golden.final
+
+    def test_schedule_replays_cleanly(self, array20):
+        run = QrmAccelerator(array20.geometry).run(array20)
+        report = validate_schedule(array20, run.schedule)
+        assert report.ok
+
+    def test_geometry_mismatch_rejected(self, geo8, array20):
+        with pytest.raises(SimulationError):
+            QrmAccelerator(geo8).run(array20)
+
+    def test_non_square_rejected(self):
+        geometry = ArrayGeometry(width=10, height=8, target_width=4,
+                                 target_height=4)
+        with pytest.raises(SimulationError):
+            QrmAccelerator(geometry)
+
+
+class TestCycleReport:
+    def test_report_structure(self, array20):
+        report = QrmAccelerator(array20.geometry).run(array20).report
+        assert report.size == 20
+        assert report.clock_mhz == 250.0
+        assert len(report.iteration_cycles) == 4
+        assert report.total_cycles == (
+            report.control_cycles
+            + report.load_cycles
+            + sum(report.iteration_cycles)
+            + report.writeback_cycles
+        )
+        assert report.time_us == pytest.approx(report.total_cycles / 250.0)
+
+    def test_converged_runs_still_pay_static_iterations(self, geo8):
+        # An empty array converges after one iteration, but the PL
+        # schedule is static: four iterations of cycles are charged.
+        run = QrmAccelerator(geo8).run(AtomArray(geo8))
+        assert run.result.iterations_used == 1
+        assert len(run.report.iteration_cycles) == 4
+
+    def test_latency_grows_with_size(self):
+        times = []
+        for size in (10, 30, 50, 90):
+            geometry = ArrayGeometry.square(size)
+            array = load_uniform(geometry, 0.5, rng=1)
+            times.append(QrmAccelerator(geometry).latency_us(array))
+        assert times == sorted(times)
+
+    def test_latency_microsecond_scale_at_50(self, geo50):
+        """Fig. 7(a) territory: a couple of microseconds at 50x50."""
+        array = load_uniform(geo50, 0.5, rng=1)
+        time_us = QrmAccelerator(geo50).latency_us(array)
+        assert 0.5 <= time_us <= 3.0
+
+    def test_iteration_cycles_scale_with_qw(self):
+        """Per-iteration cost tracks the paper's ~2*Qw + row latency."""
+        for size in (20, 40, 80):
+            geometry = ArrayGeometry.square(size)
+            array = load_uniform(geometry, 0.5, rng=2)
+            report = QrmAccelerator(geometry).run(array).report
+            qw = size // 2
+            per_iter = report.iteration_cycles[0]
+            assert 3 * qw <= per_iter <= 3 * qw + 40
+
+    def test_packet_accounting(self, geo50):
+        array = load_uniform(geo50, 0.5, rng=3)
+        report = QrmAccelerator(geo50).run(array).report
+        assert report.n_input_packets == 3
+        assert report.n_output_packets >= 1
+        assert report.n_records > 0
+
+    def test_module_stats_collected(self, array20):
+        report = QrmAccelerator(array20.geometry).run(array20).report
+        assert any("shift_kernel" in name for name in report.module_busy)
+        assert any("row_combination" in name for name in report.module_busy)
+
+    def test_summary_text(self, array20):
+        text = QrmAccelerator(array20.geometry).run(array20).report.summary()
+        assert "20x20" in text
+        assert "cycles" in text
+
+
+class TestConfigSensitivity:
+    def test_faster_clock_lower_latency(self, array20):
+        base = QrmAccelerator(array20.geometry).run(array20).report
+        fast = QrmAccelerator(
+            array20.geometry, config=FpgaConfig(clock_mhz=500.0)
+        ).run(array20).report
+        assert fast.time_us < base.time_us
+        assert fast.total_cycles == base.total_cycles
+
+    def test_deeper_pipeline_more_cycles(self, array20):
+        base = QrmAccelerator(array20.geometry).run(array20).report
+        deep = QrmAccelerator(
+            array20.geometry,
+            config=FpgaConfig(kernel_pipeline_depth_extra=20),
+        ).run(array20).report
+        assert deep.total_cycles > base.total_cycles
+
+    def test_fresh_mode_supported(self, array20):
+        params = QrmParameters(n_iterations=2, scan_mode=ScanMode.FRESH)
+        run = QrmAccelerator(array20.geometry, params=params).run(array20)
+        assert len(run.report.iteration_cycles) == 2
+        report = validate_schedule(array20, run.schedule)
+        assert report.ok

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rearrange", "--algorithm", "bogus"])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+
+class TestCommands:
+    def test_rearrange_default(self, capsys):
+        assert main(["rearrange", "--size", "12", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "qrm" in out
+        assert "moves" in out
+
+    def test_rearrange_render_and_fpga(self, capsys):
+        code = main(
+            ["rearrange", "--size", "12", "--seed", "3", "--render", "--fpga"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "●" in out
+
+    def test_rearrange_baseline(self, capsys):
+        assert main(
+            ["rearrange", "--size", "12", "--seed", "3",
+             "--algorithm", "tetris"]
+        ) == 0
+        assert "tetris" in capsys.readouterr().out
+
+    def test_figure_8(self, capsys):
+        assert main(["figure", "8"]) == 0
+        assert "Fig 8" in capsys.readouterr().out
+
+    def test_figure_headline(self, capsys):
+        assert main(["figure", "headline"]) == 0
+        assert "claim" in capsys.readouterr().out
+
+    def test_figure_workflow(self, capsys):
+        assert main(["figure", "workflow"]) == 0
+        assert "architecture" in capsys.readouterr().out
+
+    def test_resources(self, capsys):
+        assert main(["resources", "--size", "30"]) == 0
+        assert "utilisation" in capsys.readouterr().out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--size", "10", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle 3" in out
+
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "qrm" in out
+        assert "tetris" in out
+
+    def test_feasibility(self, capsys):
+        assert main(["feasibility", "--size", "20", "--fill", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted target fill" in out
+        assert "99.9%" in out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "--size", "12", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "merged" in out
+
+    def test_figure_loss(self, capsys):
+        assert main(["figure", "loss", "--trials", "1"]) == 0
+        assert "atom loss" in capsys.readouterr().out
+
+    def test_sweep(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        assert main(
+            ["sweep", "--sizes", "10", "--fills", "0.5", "--trials", "1",
+             "--csv", str(csv_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "target_fill" in out
+        assert csv_path.exists()

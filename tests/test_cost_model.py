@@ -1,0 +1,72 @@
+"""Tests for the calibrated cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cost_model import (
+    COST_MODELS,
+    MTA1_COST,
+    PSCA_COST,
+    PowerLawCost,
+    QRM_CPU_COST,
+    TETRIS_COST,
+    model_cpu_time_us,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAnchors:
+    def test_qrm_cpu_anchor_at_50(self):
+        assert QRM_CPU_COST.time_us(50) == pytest.approx(54.0, rel=1e-6)
+
+    def test_qrm_cpu_anchor_at_90(self):
+        assert QRM_CPU_COST.time_us(90) == pytest.approx(255.0, rel=1e-6)
+
+    def test_tetris_anchor_at_20(self):
+        assert TETRIS_COST.time_us(20) == pytest.approx(108.0, rel=1e-6)
+
+    def test_tetris_anchor_at_50(self):
+        assert TETRIS_COST.time_us(50) == pytest.approx(300.0, rel=1e-6)
+
+    def test_psca_ratio_at_20(self):
+        ratio = PSCA_COST.time_us(20) / QRM_CPU_COST.time_us(20)
+        assert ratio == pytest.approx(246.0, rel=1e-6)
+
+    def test_mta1_ratio_at_20(self):
+        ratio = MTA1_COST.time_us(20) / QRM_CPU_COST.time_us(20)
+        assert ratio == pytest.approx(1000.0, rel=1e-6)
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("size", [10, 20, 50, 90])
+    def test_paper_ordering_holds(self, size):
+        qrm = model_cpu_time_us("qrm", size)
+        tetris = model_cpu_time_us("tetris", size)
+        psca = model_cpu_time_us("psca", size)
+        mta1 = model_cpu_time_us("mta1", size)
+        assert qrm < tetris < psca < mta1
+
+    def test_monotone_in_size(self):
+        for model in COST_MODELS.values():
+            times = [model.time_us(s) for s in (10, 30, 50, 70, 90)]
+            assert times == sorted(times)
+
+
+class TestValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            model_cpu_time_us("unknown", 20)
+
+    def test_typical_aliases_qrm(self):
+        assert model_cpu_time_us("typical", 30) == model_cpu_time_us("qrm", 30)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            QRM_CPU_COST.time_us(0)
+
+    def test_invalid_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            PowerLawCost("bad", coeff_us=-1.0, exponent=2.0)
+        with pytest.raises(ConfigurationError):
+            PowerLawCost("bad", coeff_us=1.0, exponent=0.0)

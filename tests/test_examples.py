@@ -1,0 +1,85 @@
+"""Smoke tests: every example script runs end to end."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(monkeypatch, capsys, name: str, argv: list[str]) -> str:
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = _run_example(
+        monkeypatch, capsys, "quickstart.py", ["--size", "12", "--seed", "1"]
+    )
+    assert "qrm" in out
+    assert "cycles" in out
+
+
+def test_full_workflow(monkeypatch, capsys):
+    out = _run_example(
+        monkeypatch, capsys, "full_workflow.py", ["--size", "12", "--seed", "2"]
+    )
+    assert "[detect]" in out
+    assert "[awg]" in out
+    assert "faster" in out
+
+
+def test_algorithm_comparison(monkeypatch, capsys):
+    out = _run_example(
+        monkeypatch, capsys, "algorithm_comparison.py",
+        ["--size", "12", "--trials", "1"],
+    )
+    assert "mta1" in out
+    assert "target fill" in out
+
+
+def test_scalability_study(monkeypatch, capsys):
+    out = _run_example(
+        monkeypatch, capsys, "scalability_study.py", ["--sizes", "10", "20"]
+    )
+    assert "Fig 7a" in out
+    assert "Fig 8" in out
+
+
+def test_fpga_cycle_trace(monkeypatch, capsys):
+    out = _run_example(
+        monkeypatch, capsys, "fpga_cycle_trace.py", ["--size", "10"]
+    )
+    assert "Fig 6(a)" in out
+    assert "column stream" in out
+
+
+def test_feasibility_study(monkeypatch, capsys):
+    out = _run_example(
+        monkeypatch, capsys, "feasibility_study.py",
+        ["--size", "20", "--trials", "1"],
+    )
+    assert "predicted fill" in out
+    assert "loss model" in out
+
+
+ALL_EXAMPLES = [
+    "quickstart.py", "full_workflow.py", "algorithm_comparison.py",
+    "scalability_study.py", "fpga_cycle_trace.py", "feasibility_study.py",
+]
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert set(ALL_EXAMPLES) <= names
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_examples_have_docstrings(name):
+    text = (EXAMPLES / name).read_text()
+    assert text.startswith('"""')

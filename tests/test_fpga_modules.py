@@ -1,0 +1,205 @@
+"""Tests for LDM, AXI model, and the dataflow pipeline blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.axi import AxiTransferModel
+from repro.fpga.config import DEFAULT_FPGA_CONFIG, FpgaConfig
+from repro.fpga.load_data import LoadDataModule, LoadVectorUnit
+from repro.fpga.quadrant_processor import LineToken, build_lane, iteration_tokens
+from repro.fpga.output_concat import AxiWriteSink, OutputConcatUnit
+from repro.fpga.row_combination import RowCombinationUnit
+from repro.fpga.sim import Fifo, Simulator, SourceModule
+from repro.lattice.geometry import Quadrant
+from repro.lattice.loading import load_uniform
+
+
+class TestAxiModel:
+    def test_zero_packets_free(self):
+        assert AxiTransferModel().transfer_cycles(0) == 0
+
+    def test_setup_plus_stream(self):
+        model = AxiTransferModel(setup_cycles=10)
+        assert model.transfer_cycles(5) == 15
+
+    def test_multiple_bursts(self):
+        model = AxiTransferModel(setup_cycles=10, max_burst_packets=4)
+        assert model.n_bursts(9) == 3
+        assert model.transfer_cycles(9) == 39
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AxiTransferModel(setup_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            AxiTransferModel(packets_per_cycle=0)
+
+
+class TestLoadVectorUnit:
+    @pytest.mark.parametrize("quadrant", list(Quadrant))
+    def test_flip_matches_frame_extract(self, geo20, quadrant, rng):
+        """The bit-level flip path agrees with the numpy frame transform."""
+        array = load_uniform(geo20, 0.5, rng=rng)
+        frame = geo20.quadrant_frame(quadrant)
+        loaded = LoadVectorUnit(frame).load(array)
+        expected = frame.extract(array.grid)
+        assert loaded.n_rows == frame.n_rows
+        for u in range(frame.n_rows):
+            assert loaded.rows[u].to_bools() == list(expected[u])
+
+    def test_atom_count_preserved(self, geo20):
+        array = load_uniform(geo20, 0.5, rng=4)
+        ldm = LoadDataModule({q: geo20.quadrant_frame(q) for q in Quadrant})
+        loaded = ldm.load_all(array)
+        assert sum(lq.n_atoms for lq in loaded.values()) == array.n_atoms
+
+    def test_packet_count(self, geo50):
+        array = load_uniform(geo50, 0.5, rng=4)
+        ldm = LoadDataModule({q: geo50.quadrant_frame(q) for q in Quadrant})
+        assert ldm.n_input_packets(array) == 3  # 2500 bits / 1024
+
+
+class TestIterationTokens:
+    def _outcome(self, geo, counts):
+        from repro.core.passes import PassOutcome, Phase
+
+        outcome = PassOutcome(phase=Phase.ROW)
+        outcome.line_commands = counts
+        return outcome
+
+    def test_row_then_column_schedule(self, geo8):
+        qw = geo8.half_width
+        counts = {q: [1] * qw for q in Quadrant}
+        row = self._outcome(geo8, counts)
+        col = self._outcome(geo8, counts)
+        tokens = iteration_tokens(Quadrant.NW, row, col, qw)
+        assert len(tokens) == 2 * qw
+        # Rows ready back-to-back from cycle 0.
+        assert tokens[0][0] == 0
+        assert tokens[qw - 1][0] == qw - 1
+        # Columns ready only after the transpose completes.
+        assert tokens[qw][0] == qw
+        assert tokens[2 * qw - 1][0] == 2 * qw - 1
+
+    def test_missing_quadrant_defaults_to_zero(self, geo8):
+        from repro.core.passes import PassOutcome, Phase
+
+        row = PassOutcome(phase=Phase.ROW)
+        col = PassOutcome(phase=Phase.COLUMN)
+        tokens = iteration_tokens(Quadrant.SE, row, col, geo8.half_width)
+        assert len(tokens) == 2 * geo8.half_width
+        assert all(tok.n_commands == 0 for _, tok in tokens)
+
+
+class TestRowCombination:
+    def test_merges_four_lanes(self):
+        sim = Simulator()
+        lanes = [sim.new_fifo(f"lane{i}", 16) for i in range(4)]
+        sources = []
+        for i, lane in enumerate(lanes):
+            src = SourceModule(f"src{i}", lane)
+            src.load(
+                [(0, LineToken(Quadrant.NW, "row", u, 1)) for u in range(3)]
+            )
+            sources.append(src)
+            sim.add_module(src)
+        merged = sim.new_fifo("merged", 16)
+        unit = RowCombinationUnit("rc", lanes, merged)
+        unit.set_upstream_done(lambda: all(s.done for s in sources))
+        sim.add_module(unit)
+        sink_tokens = []
+        # Drain merged manually after run: capacity is enough.
+        sim.run()
+        while not merged.empty:
+            sink_tokens.append(merged.pop())
+        assert unit.merged_tokens == 3  # three rounds of four lanes
+        assert sum(n for _, n in sink_tokens) == 12
+
+    def test_counts_only_command_bearing_lines(self):
+        sim = Simulator()
+        lane = sim.new_fifo("lane", 8)
+        src = SourceModule("src", lane)
+        src.load([(0, LineToken(Quadrant.NW, "row", 0, 0))])
+        sim.add_module(src)
+        merged = sim.new_fifo("merged", 8)
+        unit = RowCombinationUnit("rc", [lane], merged)
+        unit.set_upstream_done(lambda: src.done)
+        sim.add_module(unit)
+        sim.run()
+        assert merged.pop() == ("merged", 0)
+
+
+class TestOutputConcat:
+    def test_packs_records_into_packets(self):
+        sim = Simulator()
+        inp = sim.new_fifo("in", 64)
+        out = sim.new_fifo("out", 64)
+        src = SourceModule("src", inp)
+        # 40 records x 32 bits = 1280 bits -> 2 packets (one partial).
+        src.load([(0, ("merged", 4)) for _ in range(10)])
+        sim.add_module(src)
+        packer = OutputConcatUnit("ocm", inp, out, record_bits=32,
+                                  packet_bits=1024)
+        packer.set_upstream_done(lambda: src.done)
+        sink = AxiWriteSink("axi", out)
+        sink.set_upstream_done(lambda: packer.done)
+        sim.add_module(packer)
+        sim.add_module(sink)
+        sim.run()
+        assert packer.records_packed == 40
+        assert packer.packets_emitted == 2
+        assert sink.packets == 2
+
+    def test_no_records_no_packets(self):
+        sim = Simulator()
+        inp = sim.new_fifo("in", 8)
+        out = sim.new_fifo("out", 8)
+        src = SourceModule("src", inp)
+        sim.add_module(src)
+        packer = OutputConcatUnit("ocm", inp, out, 32, 1024)
+        packer.set_upstream_done(lambda: src.done)
+        sink = AxiWriteSink("axi", out)
+        sink.set_upstream_done(lambda: packer.done)
+        sim.add_module(packer)
+        sim.add_module(sink)
+        sim.run()
+        assert packer.packets_emitted == 0
+
+
+class TestFpgaConfig:
+    def test_cycle_conversions(self):
+        config = FpgaConfig()
+        assert config.cycles_to_us(250) == pytest.approx(1.0)
+        assert config.us_to_cycles(1.0) == 250
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FpgaConfig(clock_mhz=0)
+        with pytest.raises(ConfigurationError):
+            FpgaConfig(packet_bits=0)
+        with pytest.raises(ConfigurationError):
+            FpgaConfig(axi_setup_cycles=-1)
+
+    def test_default_matches_paper_clock(self):
+        assert DEFAULT_FPGA_CONFIG.clock_mhz == 250.0
+        assert DEFAULT_FPGA_CONFIG.packet_bits == 1024
+
+
+def test_build_lane_structure(geo8):
+    from repro.core.passes import PassOutcome, Phase
+
+    sim = Simulator()
+    row = PassOutcome(phase=Phase.ROW)
+    col = PassOutcome(phase=Phase.COLUMN)
+    tokens = iteration_tokens(Quadrant.NW, row, col, geo8.half_width)
+    lane = build_lane(sim, Quadrant.NW, tokens, geo8.half_width,
+                      DEFAULT_FPGA_CONFIG)
+    assert lane.quadrant is Quadrant.NW
+    assert lane.kernel.depth == geo8.half_width + (
+        DEFAULT_FPGA_CONFIG.kernel_pipeline_depth_extra
+    )
+    result = sim.run()
+    assert result.cycles > 0
+    assert lane.recorder.consumed == 2 * geo8.half_width

@@ -1,0 +1,108 @@
+"""Unit tests for repro.lattice.loading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LoadingError
+from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.loading import (
+    as_rng,
+    load_checkerboard,
+    load_exact,
+    load_feasible,
+    load_gradient,
+    load_uniform,
+)
+
+
+class TestUniform:
+    def test_seed_reproducible(self, geo20):
+        a = load_uniform(geo20, 0.5, rng=7)
+        b = load_uniform(geo20, 0.5, rng=7)
+        assert a == b
+
+    def test_different_seeds_differ(self, geo20):
+        assert load_uniform(geo20, 0.5, rng=1) != load_uniform(geo20, 0.5, rng=2)
+
+    def test_fill_statistics(self):
+        geo = ArrayGeometry.square(50, 30)
+        array = load_uniform(geo, 0.5, rng=3)
+        # Binomial(2500, 0.5): five sigma is +-125.
+        assert 1125 <= array.n_atoms <= 1375
+
+    def test_extreme_fills(self, geo20):
+        assert load_uniform(geo20, 0.0, rng=0).n_atoms == 0
+        assert load_uniform(geo20, 1.0, rng=0).n_atoms == geo20.n_sites
+
+    def test_invalid_fill_rejected(self, geo20):
+        with pytest.raises(LoadingError):
+            load_uniform(geo20, 1.5)
+        with pytest.raises(LoadingError):
+            load_uniform(geo20, -0.1)
+
+
+class TestExact:
+    def test_exact_count(self, geo20):
+        array = load_exact(geo20, 123, rng=5)
+        assert array.n_atoms == 123
+
+    def test_bounds(self, geo20):
+        assert load_exact(geo20, 0, rng=0).n_atoms == 0
+        assert load_exact(geo20, geo20.n_sites, rng=0).n_atoms == geo20.n_sites
+
+    def test_out_of_range_rejected(self, geo20):
+        with pytest.raises(LoadingError):
+            load_exact(geo20, geo20.n_sites + 1)
+        with pytest.raises(LoadingError):
+            load_exact(geo20, -1)
+
+
+class TestGradient:
+    def test_centre_denser_than_edge(self):
+        geo = ArrayGeometry.square(40, 20)
+        array = load_gradient(geo, centre_fill=0.9, edge_fill=0.1, rng=11)
+        centre = array.region_count(geo.target_region) / geo.n_target_sites
+        edge_mask = np.ones(geo.shape, dtype=bool)
+        tr = geo.target_region
+        edge_mask[tr.row_slice, tr.col_slice] = False
+        edge = array.grid[edge_mask].mean()
+        assert centre > edge
+
+    def test_invalid_fill_rejected(self, geo20):
+        with pytest.raises(LoadingError):
+            load_gradient(geo20, centre_fill=1.2)
+
+
+class TestFeasible:
+    def test_guarantees_enough_atoms(self, geo20):
+        array = load_feasible(geo20, 0.5, rng=2)
+        assert array.n_atoms >= geo20.n_target_sites
+
+    def test_impossible_fill_raises(self, geo20):
+        with pytest.raises(LoadingError):
+            load_feasible(geo20, 0.01, rng=0, max_attempts=3)
+
+
+class TestCheckerboard:
+    def test_half_fill(self, geo20):
+        assert load_checkerboard(geo20).n_atoms == geo20.n_sites // 2
+
+    def test_phases_complement(self, geo20):
+        a = load_checkerboard(geo20, phase=0)
+        b = load_checkerboard(geo20, phase=1)
+        assert not np.any(a.grid & b.grid)
+        assert np.all(a.grid | b.grid)
+
+
+class TestAsRng:
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_int_seed(self):
+        assert isinstance(as_rng(5), np.random.Generator)
+
+    def test_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)

@@ -1,0 +1,83 @@
+"""Unit tests for repro.lattice.metrics and repro.lattice.render."""
+
+from __future__ import annotations
+
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import Region
+from repro.lattice.metrics import (
+    defect_count,
+    fill_fraction,
+    is_defect_free,
+    summarize,
+    surplus_atoms,
+    target_fill_fraction,
+)
+from repro.lattice.render import render_array, render_side_by_side
+
+
+class TestMetrics:
+    def test_fill_fraction_whole_array(self, geo8):
+        array = AtomArray(geo8)
+        array.set_site(0, 0, True)
+        assert fill_fraction(array) == 1 / 64
+
+    def test_fill_fraction_empty_region(self, geo8):
+        assert fill_fraction(AtomArray(geo8), Region(0, 0, 0, 0)) == 1.0
+
+    def test_target_fill_fraction(self, geo8):
+        array = AtomArray.full(geo8)
+        assert target_fill_fraction(array) == 1.0
+
+    def test_defect_count_default_target(self, geo8):
+        array = AtomArray(geo8)
+        assert defect_count(array) == geo8.n_target_sites
+        assert not is_defect_free(array)
+
+    def test_defect_free(self, geo8):
+        assert is_defect_free(AtomArray.full(geo8))
+
+    def test_surplus(self, geo8):
+        array = AtomArray.full(geo8)
+        assert surplus_atoms(array) == geo8.n_sites - geo8.n_target_sites
+
+    def test_summarize_consistency(self, array20):
+        stats = summarize(array20)
+        assert stats.n_atoms == array20.n_atoms
+        assert stats.defects == defect_count(array20)
+        assert abs(
+            stats.target_fill_fraction - target_fill_fraction(array20)
+        ) < 1e-12
+        assert sum(stats.quadrant_counts.values()) == stats.n_atoms
+
+    def test_summarize_format_mentions_key_numbers(self, array20):
+        text = summarize(array20).format()
+        assert str(array20.n_atoms) in text
+        assert "quadrants" in text
+
+
+class TestRender:
+    def test_render_line_count(self, geo8):
+        text = render_array(AtomArray(geo8))
+        assert len(text.splitlines()) == geo8.height
+
+    def test_render_marks_target_defects(self, geo8):
+        text = render_array(AtomArray(geo8))
+        assert "○" in text
+
+    def test_render_occupied_symbol(self, geo8):
+        array = AtomArray(geo8)
+        array.set_site(0, 0, True)
+        assert render_array(array).splitlines()[0].startswith("●")
+
+    def test_render_without_target_marker(self, geo8):
+        text = render_array(AtomArray(geo8), show_target=False)
+        assert "○" not in text
+
+    def test_side_by_side_header_and_width(self, geo8):
+        a = AtomArray(geo8)
+        b = AtomArray.full(geo8)
+        text = render_side_by_side(a, b, labels=("left", "right"))
+        lines = text.splitlines()
+        assert lines[0].startswith("left")
+        assert "right" in lines[0]
+        assert len(lines) == geo8.height + 1

@@ -1,0 +1,38 @@
+"""Tests for the accelerator's PS-readback output stream."""
+
+from __future__ import annotations
+
+from repro.fpga.accelerator import QrmAccelerator
+from repro.lattice.loading import load_uniform
+
+
+class TestOutputStream:
+    def test_record_words_cover_all_shifts(self, array20):
+        run = QrmAccelerator(array20.geometry).run(array20)
+        assert len(run.record_words()) == run.schedule.n_line_shifts
+
+    def test_packets_round_trip_to_shifts(self, array20):
+        """PS writes occupancy, PL answers packets; PS decodes the exact
+        line shifts the golden scheduler emitted."""
+        run = QrmAccelerator(array20.geometry).run(array20)
+        packets = run.output_packets()
+        decoded = run.decode_output(packets)
+        expected = [
+            shift for move in run.schedule for shift in move.shifts
+        ]
+        assert decoded == expected
+
+    def test_packet_count_matches_width(self, geo20):
+        array = load_uniform(geo20, 0.5, rng=6)
+        run = QrmAccelerator(geo20).run(array)
+        n_words = len(run.record_words())
+        per_packet = 1024 // 32
+        expected_packets = -(-n_words // per_packet) if n_words else 0
+        assert len(run.output_packets()) == expected_packets
+
+    def test_empty_schedule_empty_stream(self, geo8):
+        from repro.lattice.array import AtomArray
+
+        run = QrmAccelerator(geo8).run(AtomArray.full(geo8))
+        assert run.record_words() == []
+        assert run.output_packets() == []

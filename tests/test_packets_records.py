@@ -1,0 +1,141 @@
+"""Tests for packet packing and movement-record encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aod.move import LineShift, ParallelMove
+from repro.errors import SimulationError
+from repro.fpga.bitvec import BitVector
+from repro.fpga.movement_record import (
+    RECORD_BITS,
+    decode_shift,
+    encode_move,
+    encode_schedule,
+    encode_shift,
+)
+from repro.fpga.packets import (
+    pack_occupancy,
+    pack_words,
+    packets_needed,
+    unpack_occupancy,
+    unpack_words,
+)
+from repro.lattice.geometry import Direction
+from repro.lattice.loading import load_uniform
+
+
+class TestPacketsNeeded:
+    def test_exact_fit(self):
+        assert packets_needed(1024) == 1
+        assert packets_needed(2048) == 2
+
+    def test_partial_packet(self):
+        assert packets_needed(1025) == 2
+        assert packets_needed(1) == 1
+
+    def test_zero_bits(self):
+        assert packets_needed(0) == 0
+
+    def test_paper_sizes(self):
+        assert packets_needed(50 * 50) == 3
+        assert packets_needed(90 * 90) == 8
+        assert packets_needed(10 * 10) == 1
+
+    def test_invalid_packet_width(self):
+        with pytest.raises(SimulationError):
+            packets_needed(10, packet_bits=0)
+
+
+class TestOccupancyRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_round_trip(self, geo20, seed):
+        array = load_uniform(geo20, 0.5, rng=seed)
+        packets = pack_occupancy(array)
+        assert len(packets) == packets_needed(geo20.n_sites)
+        recovered = unpack_occupancy(packets, geo20)
+        assert recovered == array
+
+    def test_bit_order_row_major(self, geo8):
+        from repro.lattice.array import AtomArray
+
+        array = AtomArray(geo8)
+        array.set_site(0, 1, True)  # flat index 1
+        packets = pack_occupancy(array)
+        assert packets[0].get(1)
+        assert not packets[0].get(0)
+
+    def test_truncated_packets_rejected(self, geo50):
+        # 50x50 needs 2500 bits; a single 1024-bit packet cannot fill it.
+        with pytest.raises(SimulationError):
+            unpack_occupancy([BitVector(1024, 0)], geo50)
+
+
+class TestWordPacking:
+    def test_round_trip(self):
+        words = list(range(100))
+        packets = pack_words(words, word_bits=32)
+        assert len(packets) == 4  # 32 words per 1024-bit packet
+        assert unpack_words(packets, 32, 100) == words
+
+    def test_word_too_wide_rejected(self):
+        with pytest.raises(SimulationError):
+            pack_words([1 << 32], word_bits=32)
+
+    def test_invalid_word_bits(self):
+        with pytest.raises(SimulationError):
+            pack_words([1], word_bits=0)
+
+    def test_not_enough_words(self):
+        packets = pack_words([1, 2], word_bits=32)
+        with pytest.raises(SimulationError):
+            unpack_words(packets, 32, 64)
+
+
+class TestMovementRecords:
+    def _shift(self, **kw):
+        defaults = dict(
+            direction=Direction.EAST, line=5, span_start=2, span_stop=9, steps=1
+        )
+        defaults.update(kw)
+        return LineShift(**defaults)
+
+    @pytest.mark.parametrize("direction", list(Direction))
+    def test_round_trip_all_directions(self, direction):
+        shift = self._shift(direction=direction)
+        assert decode_shift(encode_shift(shift)) == shift
+
+    def test_round_trip_multi_step(self):
+        shift = self._shift(steps=63)
+        assert decode_shift(encode_shift(shift)) == shift
+
+    def test_word_fits_32_bits(self):
+        word = encode_shift(self._shift(line=255, span_start=254, span_stop=255))
+        assert 0 <= word < (1 << RECORD_BITS)
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(SimulationError):
+            encode_shift(self._shift(steps=64))
+        with pytest.raises(SimulationError):
+            encode_shift(self._shift(line=256))
+
+    def test_decode_range_check(self):
+        with pytest.raises(SimulationError):
+            decode_shift(1 << 32)
+
+    def test_encode_move_and_schedule(self, geo8):
+        from repro.aod.schedule import MoveSchedule
+
+        move = ParallelMove.of(
+            [
+                LineShift(Direction.EAST, 0, 0, 3),
+                LineShift(Direction.EAST, 1, 0, 3),
+            ]
+        )
+        assert len(encode_move(move)) == 2
+        schedule = MoveSchedule(geo8)
+        schedule.append(move)
+        schedule.append(move)
+        words = encode_schedule(schedule)
+        assert len(words) == 4
+        assert all(decode_shift(w).direction is Direction.EAST for w in words)

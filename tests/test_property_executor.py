@@ -1,0 +1,96 @@
+"""Property tests: vectorised executor == site-by-site reference."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aod.executor import (
+    apply_parallel_move,
+    apply_parallel_move_reference,
+)
+from repro.aod.move import LineShift, ParallelMove
+from repro.errors import MoveError
+from repro.lattice.geometry import Direction
+
+GRID_N = 8
+
+
+@st.composite
+def grids(draw):
+    bits = draw(
+        st.lists(
+            st.booleans(), min_size=GRID_N * GRID_N, max_size=GRID_N * GRID_N
+        )
+    )
+    return np.array(bits, dtype=bool).reshape(GRID_N, GRID_N)
+
+
+@st.composite
+def moves(draw):
+    direction = draw(st.sampled_from(list(Direction)))
+    steps = draw(st.integers(1, 3))
+    n_lines = draw(st.integers(1, 3))
+    lines = draw(
+        st.lists(
+            st.integers(0, GRID_N - 1),
+            min_size=n_lines,
+            max_size=n_lines,
+            unique=True,
+        )
+    )
+    shifts = []
+    for line in lines:
+        start = draw(st.integers(0, GRID_N - 2))
+        stop = draw(st.integers(start + 1, GRID_N - 1))
+        shifts.append(
+            LineShift(direction, line, span_start=start, span_stop=stop,
+                      steps=steps)
+        )
+    return ParallelMove.of(shifts)
+
+
+@given(grids(), moves())
+@settings(max_examples=300)
+def test_fast_executor_equals_reference(grid, move):
+    fast = grid.copy()
+    slow = grid.copy()
+    fast_error = slow_error = False
+    moved_fast = moved_slow = -1
+    try:
+        moved_fast = apply_parallel_move(fast, move)
+    except MoveError:
+        fast_error = True
+    try:
+        moved_slow = apply_parallel_move_reference(slow, move)
+    except MoveError:
+        slow_error = True
+
+    assert fast_error == slow_error
+    if not fast_error:
+        assert moved_fast == moved_slow
+        assert np.array_equal(fast, slow)
+        # Conservation always holds on success.
+        assert fast.sum() == grid.sum()
+
+
+@given(grids(), moves())
+@settings(max_examples=200)
+def test_failed_moves_leave_grid_unchanged(grid, move):
+    work = grid.copy()
+    try:
+        apply_parallel_move(work, move)
+    except MoveError:
+        assert np.array_equal(work, grid)
+
+
+@given(grids(), moves())
+@settings(max_examples=200)
+def test_successful_moves_conserve_atoms(grid, move):
+    work = grid.copy()
+    try:
+        apply_parallel_move(work, move)
+    except MoveError:
+        return
+    assert work.sum() == grid.sum()

@@ -1,0 +1,136 @@
+"""Property tests for detection thresholds, AWG segments and constraints."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aod.constraints import check_parallel_move
+from repro.aod.executor import apply_parallel_move
+from repro.aod.move import LineShift, ParallelMove
+from repro.awg.waveform import Segment, Tone
+from repro.detection.threshold import bimodal_threshold, otsu_threshold
+from repro.errors import MoveError
+from repro.lattice.geometry import Direction
+
+
+# -- detection thresholds -----------------------------------------------------
+
+
+@st.composite
+def bimodal_samples(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    low_mean = draw(st.floats(0.0, 20.0))
+    gap = draw(st.floats(15.0, 100.0))
+    n_low = draw(st.integers(20, 200))
+    n_high = draw(st.integers(20, 200))
+    low = rng.normal(low_mean, 1.0, n_low)
+    high = rng.normal(low_mean + gap, 1.0, n_high)
+    return low, high
+
+
+@given(bimodal_samples())
+@settings(max_examples=60)
+def test_otsu_lands_between_cluster_means(sample):
+    low, high = sample
+    threshold = otsu_threshold(np.concatenate([low, high]))
+    assert low.mean() < threshold < high.mean()
+
+
+@given(bimodal_samples())
+@settings(max_examples=60)
+def test_bimodal_threshold_classifies_well(sample):
+    low, high = sample
+    threshold = bimodal_threshold(np.concatenate([low, high]))
+    errors = int((low > threshold).sum() + (high <= threshold).sum())
+    assert errors <= max(2, (low.size + high.size) // 50)
+
+
+@given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+def test_otsu_within_data_range(values):
+    data = np.array(values)
+    threshold = otsu_threshold(data)
+    assert data.min() <= threshold <= data.max()
+
+
+# -- AWG segments -------------------------------------------------------------
+
+
+@st.composite
+def segments(draw):
+    n_tones = draw(st.integers(0, 4))
+    tones = tuple(
+        Tone(
+            start_mhz=draw(st.floats(1.0, 200.0)),
+            end_mhz=draw(st.floats(1.0, 200.0)),
+        )
+        for _ in range(n_tones)
+    )
+    return Segment(
+        label="prop",
+        duration_us=draw(st.floats(0.1, 20.0)),
+        tones=tones,
+        amplitude_start=draw(st.floats(0.0, 1.0)),
+        amplitude_end=draw(st.floats(0.0, 1.0)),
+    )
+
+
+@given(segments(), st.floats(10.0, 1000.0))
+@settings(max_examples=60)
+def test_segment_sample_count_matches_duration(segment, rate):
+    samples = segment.synthesize(sample_rate_msps=rate)
+    assert samples.size == segment.n_samples(rate)
+    assert samples.size >= 1
+
+
+@given(segments())
+@settings(max_examples=60)
+def test_segment_amplitude_bounded(segment):
+    samples = segment.synthesize(sample_rate_msps=200.0)
+    limit = max(segment.amplitude_start, segment.amplitude_end)
+    assert np.abs(samples).max() <= limit + 1e-9
+
+
+# -- constraint checker vs executor coherence ---------------------------------
+
+
+@st.composite
+def grids_and_moves(draw):
+    n = 8
+    bits = draw(st.lists(st.booleans(), min_size=n * n, max_size=n * n))
+    grid = np.array(bits, dtype=bool).reshape(n, n)
+    direction = draw(st.sampled_from(list(Direction)))
+    line = draw(st.integers(0, n - 1))
+    start = draw(st.integers(0, n - 2))
+    stop = draw(st.integers(start + 1, n - 1))
+    steps = draw(st.integers(1, 2))
+    move = ParallelMove.of(
+        [LineShift(direction, line, start, stop, steps)]
+    )
+    return grid, move
+
+
+@given(grids_and_moves())
+@settings(max_examples=200)
+def test_clean_checker_implies_clean_executor(case):
+    """A move the constraint checker passes never raises in the executor."""
+    grid, move = case
+    violations = check_parallel_move(grid, move)
+    if violations:
+        return
+    work = grid.copy()
+    apply_parallel_move(work, move)  # must not raise
+    assert work.sum() == grid.sum()
+
+
+@given(grids_and_moves())
+@settings(max_examples=200)
+def test_executor_failure_implies_checker_violation(case):
+    """If the executor rejects a move, the checker must flag it too."""
+    grid, move = case
+    work = grid.copy()
+    try:
+        apply_parallel_move(work, move)
+    except MoveError:
+        assert check_parallel_move(grid, move)

@@ -1,0 +1,119 @@
+"""Tests for the s_en scan-limit feature (paper's manual control)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aod.validator import validate_schedule
+from repro.baselines.base import get_algorithm
+from repro.config import QrmParameters
+from repro.core.qrm import QrmScheduler
+from repro.core.scan import scan_line
+from repro.errors import ConfigurationError
+from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.loading import load_uniform
+
+
+def bits(text: str) -> np.ndarray:
+    return np.array([ch == "1" for ch in text], dtype=bool)
+
+
+class TestScanLineLimit:
+    def test_holes_beyond_limit_dropped(self):
+        # holes at 0, 2, 4 — limit 3 keeps only 0 and 2.
+        result = scan_line(bits("010101"), limit=3)
+        assert result.hole_positions == (0, 2)
+
+    def test_limit_none_is_full_scan(self):
+        assert scan_line(bits("010101"), limit=None).hole_positions == (0, 2, 4)
+
+    def test_limit_larger_than_line(self):
+        assert scan_line(bits("0101"), limit=99).hole_positions == (0, 2)
+
+    def test_limit_zero_blocks_everything(self):
+        assert scan_line(bits("0101"), limit=0).hole_positions == ()
+
+
+class TestQrmWithScanLimit:
+    def test_parameter_validated(self):
+        with pytest.raises(ConfigurationError):
+            QrmParameters(scan_limit=0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_limited_schedule_validates(self, geo50, seed):
+        array = load_uniform(geo50, 0.5, rng=seed)
+        params = QrmParameters(scan_limit=geo50.target_width // 2)
+        result = QrmScheduler(geo50, params).schedule(array)
+        report = validate_schedule(array, result.schedule)
+        assert report.ok
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_saves_moves_without_hurting_fill(self, geo50, seed):
+        array = load_uniform(geo50, 0.5, rng=seed)
+        full = QrmScheduler(geo50).schedule(array)
+        limited = QrmScheduler(
+            geo50, QrmParameters(scan_limit=geo50.target_width // 2)
+        ).schedule(array)
+        assert limited.n_moves <= full.n_moves
+        assert limited.target_fill_fraction >= full.target_fill_fraction - 0.01
+
+    def test_no_moves_beyond_limit_in_row_phase(self, geo20):
+        """With the s_en bound, no command fills a hole outside the band."""
+        array = load_uniform(geo20, 0.5, rng=5)
+        limit = geo20.target_width // 2
+        params = QrmParameters(scan_limit=limit)
+        result = QrmScheduler(geo20, params).schedule(array)
+        half_w = geo20.half_width
+        half_h = geo20.half_height
+        for move in result.schedule:
+            for shift in move.shifts:
+                lead = shift.leading_sites()[0]
+                if move.is_horizontal:
+                    # the filled hole is within `limit` of the centre cols
+                    distance = min(
+                        abs(lead[1] - (half_w - 1)), abs(lead[1] - half_w)
+                    )
+                else:
+                    distance = min(
+                        abs(lead[0] - (half_h - 1)), abs(lead[0] - half_h)
+                    )
+                assert distance < limit
+
+    def test_registered_variant(self, geo20):
+        array = load_uniform(geo20, 0.5, rng=8)
+        algo = get_algorithm("qrm-sen", geo20)
+        result = algo.schedule(array)
+        assert validate_schedule(array, result.schedule).ok
+
+
+class TestRectangularGeometry:
+    """QRM is not restricted to square arrays."""
+
+    def test_rectangular_schedule_validates(self):
+        geometry = ArrayGeometry(
+            width=24, height=16, target_width=12, target_height=8
+        )
+        array = load_uniform(geometry, 0.5, rng=3)
+        result = QrmScheduler(geometry).schedule(array)
+        report = validate_schedule(array, result.schedule)
+        assert report.ok
+        assert result.final.n_atoms == array.n_atoms
+
+    def test_rectangular_target_improves(self):
+        geometry = ArrayGeometry(
+            width=32, height=20, target_width=16, target_height=10
+        )
+        array = load_uniform(geometry, 0.55, rng=9)
+        result = QrmScheduler(geometry).schedule(array)
+        assert result.final.target_count() > array.target_count()
+
+    def test_typical_handles_rectangles_too(self):
+        from repro.core.typical import TypicalScheduler
+
+        geometry = ArrayGeometry(
+            width=20, height=12, target_width=10, target_height=6
+        )
+        array = load_uniform(geometry, 0.5, rng=4)
+        result = TypicalScheduler(geometry).schedule(array)
+        assert validate_schedule(array, result.schedule).ok

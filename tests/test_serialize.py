@@ -1,0 +1,115 @@
+"""Tests for schedule JSON serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.aod.serialize import (
+    FORMAT_VERSION,
+    dumps,
+    load,
+    loads,
+    save,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.core.qrm import QrmScheduler
+from repro.errors import ScheduleValidationError
+from repro.lattice.loading import load_uniform
+
+
+@pytest.fixture
+def schedule(array20):
+    return QrmScheduler(array20.geometry).schedule(array20).schedule
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, schedule):
+        recovered = schedule_from_dict(schedule_to_dict(schedule))
+        assert recovered.geometry == schedule.geometry
+        assert recovered.algorithm == schedule.algorithm
+        assert recovered.moves == schedule.moves
+
+    def test_json_round_trip(self, schedule):
+        recovered = loads(dumps(schedule))
+        assert recovered.moves == schedule.moves
+
+    def test_file_round_trip(self, schedule, tmp_path):
+        path = tmp_path / "schedule.json"
+        save(schedule, path)
+        recovered = load(path)
+        assert recovered.moves == schedule.moves
+
+    def test_tags_preserved(self, schedule):
+        recovered = loads(dumps(schedule))
+        assert [m.tag for m in recovered] == [m.tag for m in schedule]
+
+    def test_round_trip_replays_identically(self, array20, schedule):
+        from repro.aod.executor import execute_schedule
+
+        recovered = loads(dumps(schedule))
+        original_final, _ = execute_schedule(array20, schedule)
+        recovered_final, _ = execute_schedule(array20, recovered)
+        assert original_final == recovered_final
+
+    def test_empty_schedule(self, geo8):
+        from repro.aod.schedule import MoveSchedule
+
+        empty = MoveSchedule(geo8, algorithm="none")
+        recovered = loads(dumps(empty))
+        assert len(recovered) == 0
+        assert recovered.algorithm == "none"
+
+
+class TestFormat:
+    def test_version_embedded(self, schedule):
+        data = schedule_to_dict(schedule)
+        assert data["version"] == FORMAT_VERSION
+
+    def test_wrong_version_rejected(self, schedule):
+        data = schedule_to_dict(schedule)
+        data["version"] = 999
+        with pytest.raises(ScheduleValidationError):
+            schedule_from_dict(data)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ScheduleValidationError):
+            loads("{not json")
+
+    def test_missing_geometry_rejected(self, schedule):
+        data = schedule_to_dict(schedule)
+        del data["geometry"]
+        with pytest.raises(ScheduleValidationError):
+            schedule_from_dict(data)
+
+    def test_malformed_shift_rejected(self, schedule):
+        data = schedule_to_dict(schedule)
+        data["moves"][0]["shifts"][0] = {"dir": "X"}
+        with pytest.raises(ScheduleValidationError):
+            schedule_from_dict(data)
+
+    def test_default_steps(self, schedule):
+        data = schedule_to_dict(schedule)
+        for move in data["moves"]:
+            for shift in move["shifts"]:
+                del shift["steps"]
+        recovered = schedule_from_dict(data)
+        assert all(m.steps == 1 for m in recovered)
+
+    def test_output_is_plain_json(self, schedule):
+        parsed = json.loads(dumps(schedule))
+        assert isinstance(parsed, dict)
+        assert isinstance(parsed["moves"], list)
+
+
+class TestCrossAlgorithm:
+    @pytest.mark.parametrize("name", ["tetris", "psca", "mta1"])
+    def test_baseline_schedules_serialise(self, name, geo20):
+        from repro.baselines.base import get_algorithm
+
+        array = load_uniform(geo20, 0.5, rng=2)
+        result = get_algorithm(name, geo20).schedule(array)
+        recovered = loads(dumps(result.schedule))
+        assert recovered.moves == result.schedule.moves

@@ -1,0 +1,74 @@
+"""Tests for the sweep tooling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import SweepResult, qrm_quality_sweep, run_sweep
+from repro.errors import ConfigurationError
+
+
+class TestRunSweep:
+    def test_cartesian_grid(self):
+        result = run_sweep(
+            {"a": [1, 2], "b": [10, 20, 30]},
+            {"sum": lambda a, b: a + b},
+        )
+        assert len(result.rows) == 6
+        assert result.headers == ["a", "b", "sum"]
+        assert result.rows[0] == [1, 10, 11]
+        assert result.rows[-1] == [2, 30, 32]
+
+    def test_multiple_metrics(self):
+        result = run_sweep(
+            {"x": [2, 3]},
+            {"square": lambda x: x * x, "double": lambda x: 2 * x},
+        )
+        assert result.rows == [[2, 4, 4], [3, 9, 6]]
+
+    def test_column_extraction(self):
+        result = run_sweep({"x": [1, 2]}, {"y": lambda x: x + 1})
+        assert result.column("y") == [2, 3]
+        assert result.column("x") == [1, 2]
+
+    def test_unknown_column(self):
+        result = run_sweep({"x": [1]}, {"y": lambda x: x})
+        with pytest.raises(ConfigurationError):
+            result.column("z")
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep({}, {"y": lambda: 0})
+        with pytest.raises(ConfigurationError):
+            run_sweep({"x": [1]}, {})
+
+    def test_csv_and_table(self, tmp_path):
+        result = run_sweep({"x": [1]}, {"y": lambda x: x * 1.5})
+        csv = result.to_csv()
+        assert csv.splitlines()[0] == "x,y"
+        path = result.write_csv(tmp_path / "sub" / "out.csv")
+        assert path.exists()
+        assert "1.5" in path.read_text()
+        assert "x" in result.format_table(title="t")
+
+
+class TestQrmQualitySweep:
+    def test_small_sweep(self):
+        result = qrm_quality_sweep(sizes=(10,), fills=(0.5, 0.7), trials=2)
+        assert len(result.rows) == 2
+        fills = result.column("target_fill")
+        assert fills[1] >= fills[0]  # higher loading helps
+        assert all(0 <= f <= 1 for f in fills)
+
+    def test_headers(self):
+        result = qrm_quality_sweep(sizes=(10,), fills=(0.5,), trials=1)
+        assert result.headers == [
+            "size", "fill", "target_fill", "p_success", "moves",
+        ]
+
+
+class TestSweepResultContainer:
+    def test_direct_construction(self):
+        result = SweepResult(["p"], ["m"], [[1, 2]])
+        assert result.headers == ["p", "m"]
+        assert result.column("m") == [2]

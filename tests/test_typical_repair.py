@@ -1,0 +1,117 @@
+"""Tests for the typical algorithm and the repair stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aod.validator import validate_schedule
+from repro.config import QrmParameters, ScanMode
+from repro.core.qrm import QrmScheduler
+from repro.core.repair import repair_defects
+from repro.core.typical import TypicalScheduler
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.loading import load_uniform
+
+
+class TestTypical:
+    def test_schedule_replays_cleanly(self, array20):
+        result = TypicalScheduler(array20.geometry).schedule(array20)
+        report = validate_schedule(array20, result.schedule)
+        assert report.ok
+        assert report.final_array == result.final
+
+    def test_geometry_mismatch_rejected(self, geo8, array20):
+        with pytest.raises(ValueError):
+            TypicalScheduler(geo8).schedule(array20)
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_matches_qrm_fresh_fixpoint(self, geo20, seed):
+        """Sec. III-A's procedure and QRM reach the same final state.
+
+        QRM is the typical procedure reorganised for parallel hardware;
+        in fresh scan mode both must land on the identical per-quadrant
+        compaction fixpoint.
+        """
+        array = load_uniform(geo20, 0.5, rng=seed)
+        typical = TypicalScheduler(geo20).schedule(array)
+        fresh = QrmScheduler(
+            geo20, QrmParameters(n_iterations=4, scan_mode=ScanMode.FRESH)
+        ).schedule(array)
+        assert typical.final == fresh.final
+
+    def test_fig3_demo_scenario(self, geo8):
+        """An 8x8 / 4x4 target with ample atoms assembles defect-free."""
+        array = load_uniform(geo8, 0.7, rng=3)
+        result = TypicalScheduler(geo8).schedule(array)
+        assert result.converged
+        assert result.target_fill_fraction >= 0.9
+
+    def test_empty_and_full_arrays(self, geo8):
+        assert TypicalScheduler(geo8).schedule(AtomArray(geo8)).n_moves == 0
+        assert TypicalScheduler(geo8).schedule(AtomArray.full(geo8)).n_moves == 0
+
+    def test_move_blocks_shift_whole_prefix(self, geo8):
+        # One atom in the NW corner: the horizontal phase walks it to
+        # the centre column (3 one-step blocks), the vertical phase then
+        # walks it to the centre row (3 more).
+        array = AtomArray(geo8)
+        array.set_site(0, 0, True)
+        result = TypicalScheduler(geo8).schedule(array)
+        assert result.final.is_occupied(3, 3)
+        assert result.n_moves == 6
+
+
+class TestRepair:
+    def test_fills_single_defect(self, geo8):
+        # Target full except one defect; a lone reservoir atom with a
+        # clear L-path must be routed into it.
+        array = AtomArray(geo8)
+        target = geo8.target_region
+        for site in target.sites():
+            array.set_site(*site, True)
+        array.set_site(3, 3, False)  # the defect
+        array.set_site(0, 3, True)  # reservoir atom straight above it...
+        array.set_site(2, 3, False)  # keep the column path clear
+        array.set_site(1, 3, False)
+        outcome = repair_defects(array)
+        assert array.is_occupied(3, 3)
+        assert outcome.filled == 1
+        assert outcome.unresolved >= 0
+
+    def test_unresolvable_counts(self, geo8):
+        array = AtomArray(geo8)  # no reservoir at all
+        outcome = repair_defects(array)
+        assert outcome.unresolved == geo8.n_target_sites
+        assert outcome.moves == []
+
+    def test_budget_respected(self, geo20):
+        array = load_uniform(geo20, 0.5, rng=5)
+        QrmScheduler(geo20).schedule(array)
+        work = array.copy()
+        outcome = repair_defects(work, max_moves=1)
+        assert len(outcome.moves) <= 1
+
+    def test_repair_moves_replay(self, geo20):
+        array = load_uniform(geo20, 0.5, rng=9)
+        base = QrmScheduler(geo20).schedule(array)
+        work = base.final.copy()
+        outcome = repair_defects(work)
+        # Replay repair moves from the pre-repair state.
+        from repro.aod.executor import apply_parallel_move
+
+        replay = base.final.copy()
+        for move in outcome.moves:
+            apply_parallel_move(replay.grid, move)
+        assert replay == work
+
+    def test_blocked_paths_leave_unresolved(self, geo8):
+        # A defect interior to the target, walled off by target atoms:
+        # every L-path from any reservoir atom crosses an occupied site.
+        grid = np.ones(geo8.shape, dtype=bool)
+        grid[3, 3] = False  # interior target defect
+        array = AtomArray(geo8, grid)
+        outcome = repair_defects(array)
+        assert outcome.unresolved == 1
+        assert not array.is_occupied(3, 3)
