@@ -47,9 +47,12 @@ def test_merge_mode_analysis_time(benchmark, merge, array50):
     assert result.final.n_atoms == array50.n_atoms
 
 
-def test_ablation_table(benchmark, emit):
+def test_ablation_table(benchmark, emit, seed_base):
     result = benchmark.pedantic(
-        run_ablation, kwargs=dict(size=SIZE, trials=2), rounds=1, iterations=1
+        run_ablation,
+        kwargs=dict(size=SIZE, trials=2, seed_base=seed_base),
+        rounds=1,
+        iterations=1,
     )
     emit("ablation", result.format_table())
 

@@ -33,9 +33,12 @@ def test_algorithm_analysis_time(benchmark, name, array20b):
     assert result.final.n_atoms == array20b.n_atoms
 
 
-def test_fig7b_table(benchmark, emit):
+def test_fig7b_table(benchmark, emit, seed_base):
     result = benchmark.pedantic(
-        run_fig7b, kwargs=dict(size=SIZE, trials=2), rounds=1, iterations=1
+        run_fig7b,
+        kwargs=dict(size=SIZE, trials=2, seed_base=seed_base),
+        rounds=1,
+        iterations=1,
     )
     emit("fig7b", result.format_table())
 

@@ -12,8 +12,10 @@ from __future__ import annotations
 from repro.analysis.experiments import run_headline
 
 
-def test_headline_claims(benchmark, emit):
-    result = benchmark.pedantic(run_headline, rounds=1, iterations=1)
+def test_headline_claims(benchmark, emit, seed_base):
+    result = benchmark.pedantic(
+        run_headline, kwargs=dict(seed=seed_base), rounds=1, iterations=1
+    )
     emit("headline", result.format_table())
 
     # Our cycle model is honest rather than tuned: we accept the same

@@ -11,10 +11,10 @@ from __future__ import annotations
 from repro.analysis.experiments import run_loss_comparison
 
 
-def test_loss_comparison_table(benchmark, emit):
+def test_loss_comparison_table(benchmark, emit, seed_base):
     result = benchmark.pedantic(
         run_loss_comparison,
-        kwargs=dict(size=20, trials=3),
+        kwargs=dict(size=20, trials=3, seed_base=seed_base),
         rounds=1,
         iterations=1,
     )

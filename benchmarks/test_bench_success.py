@@ -10,13 +10,14 @@ from __future__ import annotations
 from repro.analysis.experiments import run_success_sweep
 
 
-def test_success_sweep_table(benchmark, emit):
+def test_success_sweep_table(benchmark, emit, seed_base):
     result = benchmark.pedantic(
         run_success_sweep,
         kwargs=dict(
             fills=(0.5, 0.6, 0.7),
             size=30,
             trials=5,
+            seed_base=seed_base,
             algorithms=("qrm", "qrm-repair"),
         ),
         rounds=1,

@@ -10,9 +10,12 @@ from __future__ import annotations
 from repro.analysis.experiments import run_workflow_comparison
 
 
-def test_workflow_comparison_table(benchmark, emit):
+def test_workflow_comparison_table(benchmark, emit, seed_base):
     result = benchmark.pedantic(
-        run_workflow_comparison, kwargs=dict(size=50), rounds=1, iterations=1
+        run_workflow_comparison,
+        kwargs=dict(size=50, seed=seed_base),
+        rounds=1,
+        iterations=1,
     )
     emit("workflow", result.format_table())
 

@@ -1,23 +1,31 @@
 """Scalability study: Fig. 7(a) and Fig. 8 in one run.
 
-Sweeps the initial array size, reporting for each size the simulated
-FPGA analysis latency (with its cycle breakdown), the calibrated CPU
-model, and the estimated resource utilisation — the full scaling story
-of the paper's evaluation.
+Sweeps the initial array size as one campaign on the experiment
+engine, reporting for each size the simulated FPGA analysis latency,
+the calibrated CPU model, and the estimated resource utilisation — the
+full scaling story of the paper's evaluation.  With ``--workers N``
+the seeded trials fan out over a process pool; with a cache directory
+re-runs are incremental.
 
 Run with::
 
     python examples/scalability_study.py [--sizes 10 30 50 70 90]
+        [--trials 3] [--seed 1] [--workers 4] [--cache-dir .repro-cache]
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro import ArrayGeometry, load_uniform
 from repro.analysis.tables import format_table
 from repro.baselines import model_cpu_time_us
-from repro.fpga import QrmAccelerator, ResourceModel
+from repro.campaign import (
+    CampaignSpec,
+    ExperimentCampaign,
+    TrialCache,
+    make_executor,
+)
+from repro.fpga import ResourceModel
 
 
 def main() -> None:
@@ -25,28 +33,43 @@ def main() -> None:
     parser.add_argument(
         "--sizes", type=int, nargs="+", default=[10, 30, 50, 70, 90]
     )
+    parser.add_argument("--trials", type=int, default=3)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--cache-dir", type=str, default=None)
     args = parser.parse_args()
+
+    spec = CampaignSpec(
+        name="scalability-study",
+        algorithms=("qrm",),
+        sizes=tuple(args.sizes),
+        fills=(0.5,),
+        n_seeds=args.trials,
+        master_seed=args.seed,
+        fpga=True,
+    )
+    campaign = ExperimentCampaign(
+        spec,
+        executor=make_executor(args.workers),
+        cache=TrialCache(args.cache_dir) if args.cache_dir else None,
+    ).run()
 
     resource_model = ResourceModel()
     latency_rows = []
     resource_rows = []
     for size in args.sizes:
-        geometry = ArrayGeometry.square(size)
-        array = load_uniform(geometry, fill=0.5, rng=args.seed)
-        run = QrmAccelerator(geometry).run(array)
-        report = run.report
-
+        aggregate = campaign.aggregate_for(size=size)
         cpu_us = model_cpu_time_us("qrm", size)
+        fpga_us = aggregate.mean("fpga_us")
         latency_rows.append(
             [
                 size,
-                report.total_cycles,
-                report.time_us,
+                aggregate.mean("fpga_cycles"),
+                fpga_us,
                 cpu_us,
-                cpu_us / report.time_us,
-                run.result.iterations_used,
-                run.result.target_fill_fraction,
+                cpu_us / fpga_us,
+                aggregate.mean("iterations"),
+                aggregate.mean("target_fill"),
             ]
         )
 

@@ -13,7 +13,11 @@ Public API highlights
     independent replay/validation of any schedule;
 ``run_fig7a`` / ``run_fig7b`` / ``run_fig8``
     regeneration of every evaluation figure in the paper
-    (in :mod:`repro.analysis`).
+    (in :mod:`repro.analysis`);
+``CampaignSpec`` / ``ExperimentCampaign``
+    the parallel experiment-campaign engine: declarative scenario
+    grids, seeded trials, process-pool execution, and an incremental
+    on-disk trial cache (in :mod:`repro.campaign`).
 """
 
 from repro.aod import (
@@ -25,6 +29,7 @@ from repro.aod import (
     require_valid,
     validate_schedule,
 )
+from repro.campaign import CampaignSpec, ExperimentCampaign, run_campaign
 from repro.config import DEFAULT_QRM_PARAMETERS, QrmParameters, ScanMode
 from repro.core import QrmScheduler, RearrangementResult, TypicalScheduler, rearrange
 from repro.lattice import (
@@ -44,7 +49,9 @@ __all__ = [
     "AodConstraints",
     "ArrayGeometry",
     "AtomArray",
+    "CampaignSpec",
     "DEFAULT_QRM_PARAMETERS",
+    "ExperimentCampaign",
     "Direction",
     "LineShift",
     "MoveSchedule",
@@ -61,6 +68,7 @@ __all__ = [
     "load_uniform",
     "rearrange",
     "render_array",
+    "run_campaign",
     "render_side_by_side",
     "require_valid",
     "validate_schedule",

@@ -5,6 +5,13 @@ returns a result object with ``rows`` plus a ``format_table()`` — the
 benchmarks print these, the examples reuse them, and EXPERIMENTS.md
 records their output against the paper's numbers.
 
+The grid-shaped runners (Fig. 7(a), Fig. 7(b), the success sweep, and
+the loss comparison) execute on the campaign engine
+(:mod:`repro.campaign`): pass ``executor=`` to parallelise them across
+processes and ``cache=`` to make re-runs incremental.  Within one
+campaign every algorithm sees identical loaded arrays (paired design),
+matching how the paper compares algorithms.
+
 Paper anchor values are kept here as module constants so the comparison
 columns in every table come from one place.
 """
@@ -13,17 +20,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.stats import FillStats, Summary, assembly_statistics
+from repro.analysis.stats import FillStats, Summary
 from repro.analysis.tables import format_table, to_csv
-from repro.baselines.base import get_algorithm
 from repro.baselines.cost_model import model_cpu_time_us
+from repro.campaign.spec import CampaignSpec, LossSpec
 from repro.config import QrmParameters, ScanMode
-from repro.core.qrm import QrmScheduler
 from repro.fpga.accelerator import QrmAccelerator
 from repro.fpga.resources import ResourceModel
 from repro.lattice.geometry import ArrayGeometry
 from repro.lattice.loading import load_uniform
-from repro.timing.latency import measure_best_of
 from repro.workflow.system import compare_architectures
 
 #: Fig. 7(a) anchors: FPGA analysis latency (us) the paper reports.
@@ -48,6 +53,13 @@ DEFAULT_SIZES = (10, 30, 50, 70, 90)
 
 def _seeds(seed_base: int, trials: int) -> list[int]:
     return [seed_base + i for i in range(trials)]
+
+
+def _run_campaign(spec: CampaignSpec, executor, cache):
+    """Run a campaign (deferred import: analysis <-> campaign cycle)."""
+    from repro.campaign.engine import ExperimentCampaign
+
+    return ExperimentCampaign(spec, executor=executor, cache=cache).run()
 
 
 # ---------------------------------------------------------------------------
@@ -107,35 +119,34 @@ def run_fig7a(
     trials: int = 3,
     seed_base: int = 0,
     fill: float = 0.5,
+    executor=None,
+    cache=None,
 ) -> Fig7aResult:
     """Regenerate Fig. 7(a): analysis latency vs array size."""
+    spec = CampaignSpec(
+        name="fig7a",
+        algorithms=("qrm",),
+        sizes=tuple(sizes),
+        fills=(fill,),
+        n_seeds=trials,
+        master_seed=seed_base,
+        fpga=True,
+        timing=True,
+    )
+    campaign = _run_campaign(spec, executor, cache)
+
     result = Fig7aResult()
     for size in sizes:
-        geometry = ArrayGeometry.square(size)
-        accelerator = QrmAccelerator(geometry)
-        scheduler = QrmScheduler(geometry)
-
-        cycles: list[float] = []
-        measured: list[float] = []
-        for seed in _seeds(seed_base, trials):
-            array = load_uniform(geometry, fill, rng=seed)
-            run = accelerator.run(array)
-            cycles.append(float(run.report.total_cycles))
-            _, elapsed = measure_best_of(
-                lambda a=array: scheduler.schedule(a), repeats=1
-            )
-            measured.append(elapsed * 1e6)
-
-        mean_cycles = Summary.of(cycles).mean
-        fpga_us = mean_cycles / accelerator.config.clock_mhz
+        aggregate = campaign.aggregate_for(size=size)
+        fpga_us = aggregate.mean("fpga_us")
         cpu_model = model_cpu_time_us("qrm", size)
         result.rows.append(
             Fig7aRow(
                 size=size,
-                fpga_cycles=mean_cycles,
+                fpga_cycles=aggregate.mean("fpga_cycles"),
                 fpga_us=fpga_us,
                 cpu_model_us=cpu_model,
-                cpu_measured_us=Summary.of(measured).mean,
+                cpu_measured_us=aggregate.mean("cpu_us"),
                 speedup_model=cpu_model / fpga_us,
                 paper_fpga_us=PAPER_FIG7A_FPGA_US.get(size),
             )
@@ -188,18 +199,31 @@ def run_fig7b(
     trials: int = 3,
     seed_base: int = 0,
     fill: float = 0.5,
+    executor=None,
+    cache=None,
 ) -> Fig7bResult:
-    """Regenerate Fig. 7(b): QRM (FPGA+CPU) vs Tetris, PSCA, MTA1."""
-    geometry = ArrayGeometry.square(size)
-    result = Fig7bResult(size=size)
-    seeds = _seeds(seed_base, trials)
-    arrays = [load_uniform(geometry, fill, rng=seed) for seed in seeds]
+    """Regenerate Fig. 7(b): QRM (FPGA+CPU) vs Tetris, PSCA, MTA1.
 
-    accelerator = QrmAccelerator(geometry)
-    fpga_us = Summary.of(
-        [accelerator.run(a).report.time_us for a in arrays]
-    ).mean
+    One campaign cell per algorithm; the paired seeding of the engine
+    guarantees all algorithms analyse identical loaded arrays, as in
+    the paper's comparison.
+    """
+    algorithms = ("qrm", "tetris", "psca", "mta1")
+    spec = CampaignSpec(
+        name="fig7b",
+        algorithms=algorithms,
+        sizes=(size,),
+        fills=(fill,),
+        n_seeds=trials,
+        master_seed=seed_base,
+        fpga=True,
+        timing=True,
+    )
+    campaign = _run_campaign(spec, executor, cache)
+
+    result = Fig7bResult(size=size)
     qrm_cpu_model = model_cpu_time_us("qrm", size)
+    fpga_us = campaign.aggregate_for(algorithm="qrm").mean("fpga_us")
     result.rows.append(
         Fig7bRow(
             label="qrm-fpga",
@@ -209,22 +233,15 @@ def run_fig7b(
             ratio_vs_qrm_cpu=fpga_us / qrm_cpu_model,
         )
     )
-
-    for name in ("qrm", "tetris", "psca", "mta1"):
-        algo = get_algorithm(name, geometry)
-        times = []
-        for array in arrays:
-            _, elapsed = measure_best_of(
-                lambda a=array: algo.schedule(a), repeats=1
-            )
-            times.append(elapsed * 1e6)
+    for name in algorithms:
+        aggregate = campaign.aggregate_for(algorithm=name)
         model_us = model_cpu_time_us(name, size)
         label = "qrm-cpu" if name == "qrm" else name
         result.rows.append(
             Fig7bRow(
                 label=label,
                 model_us=model_us,
-                measured_python_us=Summary.of(times).mean,
+                measured_python_us=aggregate.mean("cpu_us"),
                 paper_us=PAPER_FIG7B_US.get(label),
                 ratio_vs_qrm_cpu=model_us / qrm_cpu_model,
             )
@@ -463,16 +480,21 @@ def run_success_sweep(
     trials: int = 5,
     seed_base: int = 0,
     algorithms: tuple[str, ...] = ("qrm", "qrm-repair"),
+    executor=None,
+    cache=None,
 ) -> SuccessSweepResult:
     """How assembly quality depends on the loading probability."""
+    spec = CampaignSpec(
+        name="success-sweep",
+        algorithms=tuple(algorithms),
+        sizes=(size,),
+        fills=tuple(fills),
+        n_seeds=trials,
+        master_seed=seed_base,
+    )
+    campaign = _run_campaign(spec, executor, cache)
     result = SuccessSweepResult()
-    for algorithm in algorithms:
-        for fill in fills:
-            result.rows.append(
-                assembly_statistics(
-                    algorithm, size, fill, _seeds(seed_base, trials)
-                )
-            )
+    result.rows = campaign.fill_stats()
     return result
 
 
@@ -518,38 +540,32 @@ def run_loss_comparison(
     trials: int = 3,
     seed_base: int = 0,
     algorithms: tuple[str, ...] = ("qrm", "tetris", "psca", "mta1"),
+    fill: float = 0.5,
+    loss: LossSpec | None = None,
+    executor=None,
+    cache=None,
 ) -> LossComparisonResult:
     """How each algorithm's schedule length translates into atom loss."""
-    from repro.lattice.metrics import target_fill_fraction
-    from repro.physics.loss import simulate_losses
-
-    geometry = ArrayGeometry.square(size)
+    spec = CampaignSpec(
+        name="loss-comparison",
+        algorithms=tuple(algorithms),
+        sizes=(size,),
+        fills=(fill,),
+        n_seeds=trials,
+        master_seed=seed_base,
+        loss_models=(loss if loss is not None else LossSpec(),),
+    )
+    campaign = _run_campaign(spec, executor, cache)
     result = LossComparisonResult(size=size)
-    seeds = _seeds(seed_base, trials)
-    arrays = [load_uniform(geometry, 0.5, rng=seed) for seed in seeds]
-
-    from repro.aod.timing import DEFAULT_MOVE_TIMING
-
     for name in algorithms:
-        moves, motion, survival, fills = [], [], [], []
-        for seed, array in zip(seeds, arrays):
-            res = get_algorithm(name, geometry).schedule(array)
-            report = simulate_losses(
-                array, res.schedule, rng=seed + 10_000
-            )
-            moves.append(float(res.n_moves))
-            motion.append(
-                DEFAULT_MOVE_TIMING.schedule_motion_us(res.schedule) / 1000.0
-            )
-            survival.append(report.survival_fraction)
-            fills.append(target_fill_fraction(report.final_array))
+        aggregate = campaign.aggregate_for(algorithm=name)
         result.rows.append(
             LossRow(
                 algorithm=name,
-                moves=Summary.of(moves).mean,
-                motion_ms=Summary.of(motion).mean,
-                survival=Summary.of(survival).mean,
-                target_fill_after_loss=Summary.of(fills).mean,
+                moves=aggregate.mean("moves"),
+                motion_ms=aggregate.mean("motion_ms"),
+                survival=aggregate.mean("survival"),
+                target_fill_after_loss=aggregate.mean("fill_after_loss"),
             )
         )
     return result

@@ -88,27 +88,40 @@ def qrm_quality_sweep(
     fills: Sequence[float] = (0.5, 0.6, 0.7),
     trials: int = 3,
     seed_base: int = 0,
+    algorithm: str = "qrm",
+    executor=None,
+    cache=None,
 ) -> SweepResult:
-    """Ready-made sweep: QRM target fill and moves over size x fill."""
-    from repro.analysis.stats import assembly_statistics
+    """Ready-made sweep: QRM target fill and moves over size x fill.
 
-    def _stats(size: int, fill: float):
-        seeds = [seed_base + i for i in range(trials)]
-        return assembly_statistics("qrm", size, fill, seeds)
+    Runs on the campaign engine — pass ``executor=`` to parallelise and
+    ``cache=`` (a :class:`repro.campaign.TrialCache`) for incremental
+    re-runs.
+    """
+    from repro.campaign.engine import ExperimentCampaign
+    from repro.campaign.spec import CampaignSpec
 
-    cache: dict[tuple[int, float], Any] = {}
-
-    def _cached(size: int, fill: float):
-        key = (size, fill)
-        if key not in cache:
-            cache[key] = _stats(size, fill)
-        return cache[key]
-
-    return run_sweep(
-        {"size": list(sizes), "fill": list(fills)},
-        {
-            "target_fill": lambda size, fill: _cached(size, fill).mean_target_fill,
-            "p_success": lambda size, fill: _cached(size, fill).success_probability,
-            "moves": lambda size, fill: _cached(size, fill).mean_moves,
-        },
+    spec = CampaignSpec(
+        name="qrm-quality-sweep",
+        algorithms=(algorithm,),
+        sizes=tuple(sizes),
+        fills=tuple(fills),
+        n_seeds=trials,
+        master_seed=seed_base,
     )
+    campaign = ExperimentCampaign(spec, executor=executor, cache=cache).run()
+    result = SweepResult(
+        parameter_names=["size", "fill"],
+        metric_names=["target_fill", "p_success", "moves"],
+    )
+    for stats in campaign.fill_stats():
+        result.rows.append(
+            [
+                stats.size,
+                stats.fill,
+                stats.mean_target_fill,
+                stats.success_probability,
+                stats.mean_moves,
+            ]
+        )
+    return result

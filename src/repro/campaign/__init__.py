@@ -1,0 +1,66 @@
+"""Parallel experiment-campaign engine.
+
+Declares Monte-Carlo scenario grids (array size x fill x algorithm x
+loss model), executes every (cell, seed) trial exactly once with
+deterministic ``SeedSequence``-spawned RNG streams, caches per-trial
+results on disk, and aggregates into the ``analysis`` table outputs.
+See README.md ("Campaign engine") for the spec format and CLI.
+"""
+
+from repro.campaign.cache import TrialCache, default_cache_dir
+from repro.campaign.engine import (
+    CampaignResult,
+    CellAggregate,
+    ExperimentCampaign,
+    aggregate_cell,
+    run_campaign,
+)
+from repro.campaign.executors import (
+    CampaignExecutor,
+    MultiprocessingExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.campaign.observer import (
+    CampaignObserver,
+    CompositeObserver,
+    ConsoleObserver,
+    NullObserver,
+    RecordingObserver,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    LossSpec,
+    ScenarioCell,
+    grid_spec,
+    stable_hash,
+)
+from repro.campaign.trial import TrialResult, TrialSpec, cell_sequence, run_trial
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignObserver",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellAggregate",
+    "CompositeObserver",
+    "ConsoleObserver",
+    "ExperimentCampaign",
+    "LossSpec",
+    "MultiprocessingExecutor",
+    "NullObserver",
+    "RecordingObserver",
+    "ScenarioCell",
+    "SerialExecutor",
+    "TrialCache",
+    "TrialResult",
+    "TrialSpec",
+    "aggregate_cell",
+    "cell_sequence",
+    "default_cache_dir",
+    "grid_spec",
+    "make_executor",
+    "run_campaign",
+    "run_trial",
+    "stable_hash",
+]

@@ -1,0 +1,269 @@
+"""The campaign orchestrator.
+
+:class:`ExperimentCampaign` expands a spec into trials, serves what it
+can from the trial cache, dispatches the rest to an executor, and
+aggregates per-cell statistics in a fixed (cell, seed) order — so the
+same spec yields bit-identical aggregates whether trials ran serially,
+across a process pool, or out of the cache.
+
+The orchestration is deliberately free of infrastructure: executors,
+cache, and observer are injected behind small protocols and default to
+in-process, no-cache, silent implementations, so tests can substitute
+fakes without touching the loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.stats import FillStats, Summary
+from repro.analysis.tables import format_table, to_csv
+from repro.campaign.cache import TrialCache
+from repro.campaign.executors import CampaignExecutor, SerialExecutor
+from repro.campaign.observer import CampaignObserver, NullObserver
+from repro.campaign.spec import CampaignSpec, ScenarioCell
+from repro.campaign.trial import TrialResult, TrialSpec, run_trial
+from repro.errors import ConfigurationError
+
+#: Metric column order for tables/CSV (only present metrics are shown).
+METRIC_ORDER = (
+    "target_fill",
+    "moves",
+    "iterations",
+    "fpga_us",
+    "fpga_cycles",
+    "cpu_us",
+    "survival",
+    "fill_after_loss",
+    "motion_ms",
+    "analysis_ops",
+)
+
+
+@dataclass(frozen=True)
+class CellAggregate:
+    """Per-cell summaries over all of the cell's seeded trials."""
+
+    cell: ScenarioCell
+    trials: int
+    metrics: dict[str, Summary]
+
+    def mean(self, name: str) -> float:
+        try:
+            return self.metrics[name].mean
+        except KeyError:
+            raise ConfigurationError(
+                f"cell {self.cell.label()!r} has no metric '{name}'; "
+                f"have {sorted(self.metrics)}"
+            ) from None
+
+    @property
+    def success_probability(self) -> float:
+        if "defect_free" not in self.metrics:  # zero-trial cell
+            return float("nan")
+        return self.mean("defect_free")
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign run produced."""
+
+    spec: CampaignSpec
+    aggregates: list[CellAggregate] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def n_trials(self) -> int:
+        return sum(aggregate.trials for aggregate in self.aggregates)
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def aggregate_for(self, **cell_fields) -> CellAggregate:
+        """The unique aggregate whose cell matches all given fields."""
+        matches = [
+            aggregate
+            for aggregate in self.aggregates
+            if all(
+                getattr(aggregate.cell, name) == value
+                for name, value in cell_fields.items()
+            )
+        ]
+        if len(matches) != 1:
+            raise ConfigurationError(
+                f"{len(matches)} cells match {cell_fields!r} in campaign "
+                f"'{self.spec.name}'"
+            )
+        return matches[0]
+
+    def _metric_columns(self) -> list[str]:
+        present: set[str] = set()
+        for aggregate in self.aggregates:
+            present.update(aggregate.metrics)
+        ordered = [name for name in METRIC_ORDER if name in present]
+        ordered.extend(sorted(present - set(ordered) - {"defect_free"}))
+        return ordered
+
+    def _headers_and_rows(self) -> tuple[list[str], list[list]]:
+        metric_names = self._metric_columns()
+        headers = ["algorithm", "size", "fill", "trials", "p_success"]
+        headers.extend(metric_names)
+        rows = []
+        for aggregate in self.aggregates:
+            cell = aggregate.cell
+            row: list = [
+                cell.algorithm,
+                cell.size,
+                cell.fill,
+                aggregate.trials,
+                aggregate.success_probability,
+            ]
+            row.extend(
+                aggregate.metrics[name].mean if name in aggregate.metrics else ""
+                for name in metric_names
+            )
+            rows.append(row)
+        return headers, rows
+
+    def format_table(self) -> str:
+        headers, rows = self._headers_and_rows()
+        title = (
+            f"Campaign '{self.spec.name}' "
+            f"[{self.spec.spec_hash()}]: {self.n_trials} trials, "
+            f"{self.cache_hits} cached"
+        )
+        return format_table(headers, rows, title=title)
+
+    def to_csv(self) -> str:
+        headers, rows = self._headers_and_rows()
+        return to_csv(headers, rows)
+
+    def write_csv(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_csv() + "\n")
+        return path
+
+    def fill_stats(self) -> list[FillStats]:
+        """Bridge to the legacy per-cell quality container."""
+        return [
+            FillStats(
+                algorithm=aggregate.cell.algorithm,
+                size=aggregate.cell.size,
+                fill=aggregate.cell.fill,
+                mean_target_fill=aggregate.mean("target_fill"),
+                success_probability=aggregate.success_probability,
+                mean_moves=aggregate.mean("moves"),
+                trials=aggregate.trials,
+            )
+            for aggregate in self.aggregates
+        ]
+
+
+def aggregate_cell(cell: ScenarioCell, results: Sequence[TrialResult]) -> CellAggregate:
+    """Summarise one cell's trial results (in seed order)."""
+    names = sorted(results[0].metrics) if results else []
+    metrics = {
+        name: Summary.of([result.metrics[name] for result in results])
+        for name in names
+    }
+    return CellAggregate(cell=cell, trials=len(results), metrics=metrics)
+
+
+class ExperimentCampaign:
+    """Spec → grid → seeded trials → chunked execution → aggregation."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        executor: CampaignExecutor | None = None,
+        cache: TrialCache | None = None,
+        observer: CampaignObserver | None = None,
+    ) -> None:
+        self.spec = spec
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.observer = observer if observer is not None else NullObserver()
+
+    def trials(self) -> list[TrialSpec]:
+        """Every (cell, seed) trial, in deterministic grid order."""
+        return [
+            TrialSpec(
+                cell=cell,
+                seed_index=seed_index,
+                master_seed=self.spec.master_seed,
+            )
+            for cell in self.spec.expand()
+            for seed_index in range(self.spec.n_seeds)
+        ]
+
+    def run(self) -> CampaignResult:
+        started = time.perf_counter()
+        cells = self.spec.expand()
+        trials = self.trials()
+        keys = [trial.key() for trial in trials]
+
+        # Timing cells bypass the cache: their wall-clock metrics are
+        # measurements of *this* run and must never be served stale.
+        results: dict[str, TrialResult] = {}
+        if self.cache is not None:
+            for trial, key in zip(trials, keys):
+                if trial.cell.timing:
+                    continue
+                cached = self.cache.get(trial)
+                if cached is not None:
+                    results[key] = cached
+        n_cached = len(results)
+
+        self.observer.campaign_started(
+            self.spec, n_trials=len(trials), n_cached=n_cached
+        )
+        for trial, key in zip(trials, keys):
+            if key in results:
+                self.observer.trial_completed(trial, results[key], from_cache=True)
+
+        pending = [trial for trial, key in zip(trials, keys) if key not in results]
+        for index, result in self.executor.run(run_trial, pending):
+            trial = pending[index]
+            results[trial.key()] = result
+            if self.cache is not None and not trial.cell.timing:
+                self.cache.put(trial, result)
+            self.observer.trial_completed(trial, result, from_cache=False)
+
+        aggregates: list[CellAggregate] = []
+        n_seeds = self.spec.n_seeds
+        for cell_index, cell in enumerate(cells):
+            cell_keys = keys[cell_index * n_seeds : (cell_index + 1) * n_seeds]
+            cell_results = [results[key] for key in cell_keys]
+            aggregate = aggregate_cell(cell, cell_results)
+            self.observer.cell_completed(cell, aggregate)
+            aggregates.append(aggregate)
+
+        result = CampaignResult(
+            spec=self.spec,
+            aggregates=aggregates,
+            cache_hits=n_cached,
+            cache_misses=len(pending),
+            duration_s=time.perf_counter() - started,
+        )
+        self.observer.campaign_completed(result)
+        return result
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    executor: CampaignExecutor | None = None,
+    cache: TrialCache | None = None,
+    observer: CampaignObserver | None = None,
+) -> CampaignResult:
+    """One-shot convenience wrapper around :class:`ExperimentCampaign`."""
+    return ExperimentCampaign(
+        spec, executor=executor, cache=cache, observer=observer
+    ).run()

@@ -1,0 +1,97 @@
+"""Pluggable trial executors.
+
+The engine hands an executor a picklable function and a list of items;
+the executor yields ``(index, result)`` pairs in whatever order the
+trials finish.  The engine re-keys results, so completion order never
+affects aggregates — which is what lets the serial and multiprocessing
+executors produce bit-identical campaign results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Protocol, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class CampaignExecutor(Protocol):
+    """Anything that can map a function over trial specs."""
+
+    def run(
+        self, fn: Callable[[T], Any], items: Sequence[T]
+    ) -> Iterator[tuple[int, Any]]:
+        """Yield ``(index, fn(items[index]))`` in completion order."""
+        ...
+
+
+class SerialExecutor:
+    """In-process execution, in submission order."""
+
+    def run(
+        self, fn: Callable[[T], Any], items: Sequence[T]
+    ) -> Iterator[tuple[int, Any]]:
+        for index, item in enumerate(items):
+            yield index, fn(item)
+
+
+def _apply_indexed(payload: tuple[Callable, int, Any]) -> tuple[int, Any]:
+    fn, index, item = payload
+    return index, fn(item)
+
+
+@dataclass
+class MultiprocessingExecutor:
+    """``multiprocessing.Pool``-backed execution.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to the CPU count.  Capped at the number of
+        items so tiny campaigns don't fork idle processes.
+    chunksize:
+        Trials handed to a worker per dispatch.  Larger chunks amortise
+        IPC for cheap trials; 1 balances best for heavy ones.
+    start_method:
+        Forwarded to ``multiprocessing.get_context`` (None = platform
+        default).
+    """
+
+    workers: int | None = None
+    chunksize: int = 1
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.chunksize < 1:
+            raise ConfigurationError(f"chunksize must be >= 1, got {self.chunksize}")
+
+    def run(
+        self, fn: Callable[[T], Any], items: Sequence[T]
+    ) -> Iterator[tuple[int, Any]]:
+        items = list(items)
+        if not items:
+            return
+        workers = self.workers or os.cpu_count() or 1
+        workers = min(workers, len(items))
+        if workers == 1:
+            yield from SerialExecutor().run(fn, items)
+            return
+        context = multiprocessing.get_context(self.start_method)
+        payloads = [(fn, index, item) for index, item in enumerate(items)]
+        with context.Pool(processes=workers) as pool:
+            yield from pool.imap_unordered(
+                _apply_indexed, payloads, chunksize=self.chunksize
+            )
+
+
+def make_executor(workers: int | None, chunksize: int = 1) -> CampaignExecutor:
+    """CLI helper: 0/1/None workers → serial, otherwise a pool."""
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return MultiprocessingExecutor(workers=workers, chunksize=chunksize)

@@ -1,0 +1,155 @@
+"""Observer protocol for campaign progress and metrics.
+
+The engine emits structured events in domain language; implementations
+may print progress, record for tests, or export metrics.  The engine
+only ever calls the four methods below, always in the order
+``campaign_started`` → ``trial_completed``* → ``cell_completed``* →
+``campaign_completed``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TYPE_CHECKING, Any, Protocol, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.campaign.engine import CampaignResult, CellAggregate
+    from repro.campaign.spec import CampaignSpec, ScenarioCell
+    from repro.campaign.trial import TrialResult, TrialSpec
+
+
+class CampaignObserver(Protocol):
+    """Structured events emitted while a campaign runs."""
+
+    def campaign_started(
+        self, spec: "CampaignSpec", n_trials: int, n_cached: int
+    ) -> None: ...
+
+    def trial_completed(
+        self, trial: "TrialSpec", result: "TrialResult", from_cache: bool
+    ) -> None: ...
+
+    def cell_completed(
+        self, cell: "ScenarioCell", aggregate: "CellAggregate"
+    ) -> None: ...
+
+    def campaign_completed(self, result: "CampaignResult") -> None: ...
+
+
+class NullObserver:
+    """Ignores every event (the engine default)."""
+
+    def campaign_started(self, spec, n_trials, n_cached) -> None:
+        pass
+
+    def trial_completed(self, trial, result, from_cache) -> None:
+        pass
+
+    def cell_completed(self, cell, aggregate) -> None:
+        pass
+
+    def campaign_completed(self, result) -> None:
+        pass
+
+
+class ConsoleObserver:
+    """Human-readable progress lines on stderr."""
+
+    def __init__(self, stream=None, every: int = 10) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._every = max(1, every)
+        self._done = 0
+        self._total = 0
+        self._started = 0.0
+
+    def _emit(self, message: str) -> None:
+        print(message, file=self._stream, flush=True)
+
+    def campaign_started(self, spec, n_trials, n_cached) -> None:
+        self._total = n_trials
+        self._done = 0
+        self._started = time.perf_counter()
+        self._emit(
+            f"[campaign {spec.name}] {spec.n_cells} cells x "
+            f"{spec.n_seeds} seeds = {n_trials} trials "
+            f"({n_cached} cached)"
+        )
+
+    def trial_completed(self, trial, result, from_cache) -> None:
+        self._done += 1
+        if self._done % self._every == 0 or self._done == self._total:
+            elapsed = time.perf_counter() - self._started
+            self._emit(
+                f"[campaign] {self._done}/{self._total} trials "
+                f"({elapsed:.1f}s)"
+            )
+
+    def cell_completed(self, cell, aggregate) -> None:
+        self._emit(
+            f"[campaign] cell done: {cell.label()} "
+            f"(p_success={aggregate.success_probability:.2f})"
+        )
+
+    def campaign_completed(self, result) -> None:
+        self._emit(
+            f"[campaign {result.spec.name}] finished in "
+            f"{result.duration_s:.1f}s — {result.cache_hits} cached, "
+            f"{result.cache_misses} executed"
+        )
+
+
+class RecordingObserver:
+    """Records ``(event_name, payload)`` tuples — for tests and audits."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, dict[str, Any]]] = []
+
+    @property
+    def event_names(self) -> list[str]:
+        return [name for name, _ in self.events]
+
+    def campaign_started(self, spec, n_trials, n_cached) -> None:
+        self.events.append(
+            (
+                "campaign_started",
+                {"spec": spec, "n_trials": n_trials, "n_cached": n_cached},
+            )
+        )
+
+    def trial_completed(self, trial, result, from_cache) -> None:
+        self.events.append(
+            (
+                "trial_completed",
+                {"trial": trial, "result": result, "from_cache": from_cache},
+            )
+        )
+
+    def cell_completed(self, cell, aggregate) -> None:
+        self.events.append(("cell_completed", {"cell": cell, "aggregate": aggregate}))
+
+    def campaign_completed(self, result) -> None:
+        self.events.append(("campaign_completed", {"result": result}))
+
+
+class CompositeObserver:
+    """Fans every event out to several observers, in order."""
+
+    def __init__(self, observers: Sequence[CampaignObserver]) -> None:
+        self._observers = list(observers)
+
+    def campaign_started(self, spec, n_trials, n_cached) -> None:
+        for observer in self._observers:
+            observer.campaign_started(spec, n_trials, n_cached)
+
+    def trial_completed(self, trial, result, from_cache) -> None:
+        for observer in self._observers:
+            observer.trial_completed(trial, result, from_cache)
+
+    def cell_completed(self, cell, aggregate) -> None:
+        for observer in self._observers:
+            observer.cell_completed(cell, aggregate)
+
+    def campaign_completed(self, result) -> None:
+        for observer in self._observers:
+            observer.campaign_completed(result)

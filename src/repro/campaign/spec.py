@@ -1,0 +1,273 @@
+"""Declarative campaign specifications and grid expansion.
+
+A :class:`CampaignSpec` names a cartesian grid of scenarios — array
+size, target geometry, loading fill fraction, rearrangement algorithm,
+and optional atom-loss model — plus the number of seeded trials per
+grid cell.  The spec is pure data: it can be hashed stably (for the
+on-disk trial cache), serialised to JSON (for the ``repro campaign``
+CLI), and expanded into :class:`ScenarioCell` objects that the engine
+turns into trials.
+
+Seeding contract
+----------------
+Per-trial RNG streams derive from ``numpy.random.SeedSequence`` with
+entropy ``[master_seed, instance_entropy(cell)]`` where the *instance*
+part of a cell deliberately excludes the algorithm and loss model.
+Two consequences:
+
+* algorithms compared within one campaign see **identical** loaded
+  arrays (a paired design, like the paper's Fig. 7(b) comparison);
+* extending a campaign with more seeds, algorithms, or grid cells
+  never changes the seeds of the trials that already ran, so the disk
+  cache stays valid incrementally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Bump to invalidate every cached trial when the metric schema changes.
+TRIAL_SCHEMA_VERSION = 1
+
+
+def stable_hash(payload: Any) -> str:
+    """Hex SHA-256 of the canonical JSON rendering of ``payload``."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def stable_entropy(payload: Any) -> int:
+    """A 128-bit integer digest usable as ``SeedSequence`` entropy."""
+    return int(stable_hash(payload)[:32], 16)
+
+
+@dataclass(frozen=True)
+class LossSpec:
+    """Serialisable mirror of :class:`repro.physics.loss.LossModel`."""
+
+    vacuum_lifetime_s: float = 30.0
+    loss_per_transfer: float = 2e-3
+    loss_per_site: float = 1e-4
+
+    def to_model(self):
+        from repro.physics.loss import LossModel
+
+        return LossModel(
+            vacuum_lifetime_s=self.vacuum_lifetime_s,
+            loss_per_transfer=self.loss_per_transfer,
+            loss_per_site=self.loss_per_site,
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "vacuum_lifetime_s": self.vacuum_lifetime_s,
+            "loss_per_transfer": self.loss_per_transfer,
+            "loss_per_site": self.loss_per_site,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "LossSpec":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One grid point of a campaign: a fully specified scenario.
+
+    ``fpga`` asks the trial to also run the cycle-level accelerator
+    model (only meaningful for the ``qrm`` algorithm); ``timing`` adds
+    measured Python wall-clock metrics, which are inherently
+    non-deterministic and therefore excluded from both the engine's
+    determinism guarantee and the on-disk trial cache (timing cells
+    always re-execute).
+    """
+
+    algorithm: str = "qrm"
+    size: int = 20
+    target: int | None = None
+    fill: float = 0.5
+    loss: LossSpec | None = None
+    fpga: bool = False
+    timing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"size must be positive, got {self.size}")
+        if not 0.0 <= self.fill <= 1.0:
+            raise ConfigurationError(f"fill must be in [0, 1], got {self.fill}")
+        if self.fpga and self.algorithm != "qrm":
+            raise ConfigurationError(
+                "the FPGA cycle model only implements the 'qrm' algorithm; "
+                f"cell requested fpga metrics for '{self.algorithm}'"
+            )
+
+    def instance_key(self) -> dict[str, Any]:
+        """The part of the cell that defines the random *instance*.
+
+        Excludes the algorithm and loss model so that every algorithm
+        in a campaign is evaluated on identical loaded arrays.
+        """
+        return {"size": self.size, "target": self.target, "fill": self.fill}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "size": self.size,
+            "target": self.target,
+            "fill": self.fill,
+            "loss": self.loss.to_dict() if self.loss is not None else None,
+            "fpga": self.fpga,
+            "timing": self.timing,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioCell":
+        payload = dict(data)
+        loss = payload.get("loss")
+        if loss is not None:
+            payload["loss"] = LossSpec.from_dict(loss)
+        return cls(**payload)
+
+    def label(self) -> str:
+        parts = [self.algorithm, f"{self.size}x{self.size}", f"fill={self.fill:g}"]
+        if self.target is not None:
+            parts.insert(2, f"target={self.target}")
+        if self.loss is not None:
+            parts.append("loss")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named cartesian scenario grid plus its trial count and seed.
+
+    The grid expands in declared axis order — algorithms outermost,
+    then sizes, fills, and loss models — so the row order of every
+    aggregate table is deterministic.
+    """
+
+    name: str
+    algorithms: tuple[str, ...] = ("qrm",)
+    sizes: tuple[int, ...] = (20,)
+    fills: tuple[float, ...] = (0.5,)
+    targets: tuple[int | None, ...] = (None,)
+    loss_models: tuple[LossSpec | None, ...] = (None,)
+    n_seeds: int = 1
+    master_seed: int = 0
+    fpga: bool = False
+    timing: bool = False
+    extra_cells: tuple[ScenarioCell, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a campaign needs a non-empty name")
+        if self.n_seeds < 0:
+            raise ConfigurationError(f"n_seeds must be >= 0, got {self.n_seeds}")
+
+    def expand(self) -> list[ScenarioCell]:
+        """Expand the grid into scenario cells (may be empty)."""
+        cells = [
+            ScenarioCell(
+                algorithm=algorithm,
+                size=size,
+                target=target,
+                fill=fill,
+                loss=loss,
+                fpga=self.fpga and algorithm == "qrm",
+                timing=self.timing,
+            )
+            for algorithm, size, target, fill, loss in itertools.product(
+                self.algorithms,
+                self.sizes,
+                self.targets,
+                self.fills,
+                self.loss_models,
+            )
+        ]
+        cells.extend(self.extra_cells)
+        return cells
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.expand())
+
+    @property
+    def n_trials(self) -> int:
+        return self.n_cells * self.n_seeds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "algorithms": list(self.algorithms),
+            "sizes": list(self.sizes),
+            "fills": list(self.fills),
+            "targets": list(self.targets),
+            "loss_models": [
+                loss.to_dict() if loss is not None else None
+                for loss in self.loss_models
+            ],
+            "n_seeds": self.n_seeds,
+            "master_seed": self.master_seed,
+            "fpga": self.fpga,
+            "timing": self.timing,
+            "extra_cells": [cell.to_dict() for cell in self.extra_cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        payload = dict(data)
+        for axis in ("algorithms", "sizes", "fills", "targets"):
+            if axis in payload:
+                payload[axis] = tuple(payload[axis])
+        if "loss_models" in payload:
+            payload["loss_models"] = tuple(
+                LossSpec.from_dict(loss) if loss is not None else None
+                for loss in payload["loss_models"]
+            )
+        if "extra_cells" in payload:
+            payload["extra_cells"] = tuple(
+                ScenarioCell.from_dict(cell) for cell in payload["extra_cells"]
+            )
+        return cls(**payload)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Stable digest of everything that affects campaign results."""
+        payload = self.to_dict()
+        payload["version"] = TRIAL_SCHEMA_VERSION
+        return stable_hash(payload)[:16]
+
+
+def grid_spec(
+    name: str,
+    algorithms: Iterable[str] = ("qrm",),
+    sizes: Iterable[int] = (20,),
+    fills: Iterable[float] = (0.5,),
+    n_seeds: int = 1,
+    master_seed: int = 0,
+    loss_models: Sequence[LossSpec | None] = (None,),
+    **kwargs: Any,
+) -> CampaignSpec:
+    """Convenience constructor coercing iterables to tuples."""
+    return CampaignSpec(
+        name=name,
+        algorithms=tuple(algorithms),
+        sizes=tuple(sizes),
+        fills=tuple(fills),
+        n_seeds=n_seeds,
+        master_seed=master_seed,
+        loss_models=tuple(loss_models),
+        **kwargs,
+    )

@@ -1,0 +1,142 @@
+"""Trial specification and execution.
+
+A :class:`TrialSpec` is the unit of work the executors move between
+processes: one scenario cell plus one seed index.  It is a small,
+picklable value object; :func:`run_trial` is a module-level function so
+``multiprocessing`` can ship it to workers.
+
+Every trial derives two independent RNG streams (array loading and
+loss simulation) from one ``SeedSequence`` via ``spawn`` — see
+:mod:`repro.campaign.spec` for the seeding contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.campaign.spec import (
+    TRIAL_SCHEMA_VERSION,
+    ScenarioCell,
+    stable_entropy,
+    stable_hash,
+)
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One (cell, seed) execution of a campaign."""
+
+    cell: ScenarioCell
+    seed_index: int
+    master_seed: int
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The trial's root ``SeedSequence``.
+
+        Equivalent to ``cell_sequence(...).spawn(n)[seed_index]``: a
+        ``SeedSequence`` constructed with ``spawn_key=(i,)`` is exactly
+        the ``i``-th child ``spawn`` would return, without having to
+        materialise the earlier siblings.
+        """
+        entropy = [self.master_seed, stable_entropy(self.cell.instance_key())]
+        return np.random.SeedSequence(entropy, spawn_key=(self.seed_index,))
+
+    def key(self) -> str:
+        """Cache key: depends on the full cell, the seed and the schema."""
+        return stable_hash(
+            {
+                "cell": self.cell.to_dict(),
+                "seed_index": self.seed_index,
+                "master_seed": self.master_seed,
+                "version": TRIAL_SCHEMA_VERSION,
+            }
+        )
+
+
+def cell_sequence(cell: ScenarioCell, master_seed: int) -> np.random.SeedSequence:
+    """The per-cell parent sequence whose ``spawn`` children seed trials."""
+    return np.random.SeedSequence([master_seed, stable_entropy(cell.instance_key())])
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Flat metric mapping produced by one trial (JSON-serialisable)."""
+
+    key: str
+    metrics: Mapping[str, float]
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "metrics": dict(self.metrics)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TrialResult":
+        return cls(key=data["key"], metrics=dict(data["metrics"]))
+
+
+def run_trial(trial: TrialSpec) -> TrialResult:
+    """Execute one trial and return its metrics.
+
+    Deterministic given the trial spec, except for the wall-clock
+    metrics added when ``cell.timing`` is set.
+    """
+    from repro.baselines.base import get_algorithm
+    from repro.lattice.geometry import ArrayGeometry
+    from repro.lattice.loading import load_uniform
+
+    cell = trial.cell
+    geometry = ArrayGeometry.square(cell.size, cell.target)
+    load_seed, loss_seed = trial.seed_sequence().spawn(2)
+    array = load_uniform(geometry, cell.fill, rng=np.random.default_rng(load_seed))
+
+    algorithm = get_algorithm(cell.algorithm, geometry)
+    start = time.perf_counter()
+    result = algorithm.schedule(array)
+    elapsed_us = (time.perf_counter() - start) * 1e6
+    if cell.timing:
+        # Best-of-3 to suppress scheduler noise; the analysis itself is
+        # deterministic, so the repeats discard nothing but jitter.
+        for _ in range(2):
+            start = time.perf_counter()
+            algorithm.schedule(array)
+            elapsed_us = min(elapsed_us, (time.perf_counter() - start) * 1e6)
+
+    metrics: dict[str, float] = {
+        "moves": float(result.n_moves),
+        "iterations": float(result.iterations_used),
+        "target_fill": float(result.target_fill_fraction),
+        "defect_free": float(result.defect_free),
+        "analysis_ops": float(result.analysis_ops),
+    }
+    if cell.timing:
+        metrics["cpu_us"] = elapsed_us
+
+    if cell.fpga:
+        from repro.fpga.accelerator import QrmAccelerator
+
+        run = QrmAccelerator(geometry).run(array)
+        metrics["fpga_cycles"] = float(run.report.total_cycles)
+        metrics["fpga_us"] = float(run.report.time_us)
+
+    if cell.loss is not None:
+        from repro.aod.timing import DEFAULT_MOVE_TIMING
+        from repro.physics.loss import simulate_losses
+
+        report = simulate_losses(
+            array,
+            result.schedule,
+            loss=cell.loss.to_model(),
+            rng=np.random.default_rng(loss_seed),
+        )
+        from repro.lattice.metrics import target_fill_fraction
+
+        metrics["survival"] = float(report.survival_fraction)
+        metrics["fill_after_loss"] = float(target_fill_fraction(report.final_array))
+        metrics["motion_ms"] = (
+            DEFAULT_MOVE_TIMING.schedule_motion_us(result.schedule) / 1000.0
+        )
+
+    return TrialResult(key=trial.key(), metrics=metrics)

@@ -6,6 +6,9 @@ Examples::
     repro rearrange --size 50 --algorithm tetris
     repro figure 7a --trials 3
     repro figure all
+    repro campaign --sizes 20 30 --fills 0.5 0.6 --algorithms qrm tetris \\
+        --seeds 25 --workers 4 --csv campaign.csv
+    repro campaign --spec my_campaign.json --workers 8
     repro resources --size 90
     repro trace --size 10
     repro algorithms
@@ -32,6 +35,7 @@ from repro.analysis.feasibility import (
 )
 from repro.aod.validator import validate_schedule
 from repro.baselines.base import get_algorithm, list_algorithms
+from repro.errors import ReproError
 from repro.fpga.accelerator import QrmAccelerator
 from repro.fpga.bitvec import BitVector
 from repro.fpga.resources import ResourceModel
@@ -138,11 +142,82 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.sweeps import qrm_quality_sweep
+    from repro.campaign import make_executor
 
     result = qrm_quality_sweep(
-        sizes=args.sizes, fills=args.fills, trials=args.trials
+        sizes=args.sizes,
+        fills=args.fills,
+        trials=args.trials,
+        executor=make_executor(args.workers),
     )
     print(result.format_table(title="QRM assembly quality sweep"))
+    if args.csv:
+        path = result.write_csv(args.csv)
+        print(f"[written to {path}]")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign import (
+        CampaignSpec,
+        ConsoleObserver,
+        ExperimentCampaign,
+        LossSpec,
+        NullObserver,
+        TrialCache,
+        make_executor,
+    )
+
+    if args.spec:
+        spec_path = Path(args.spec)
+        if not spec_path.is_file():
+            print(f"spec file not found: {spec_path}", file=sys.stderr)
+            return 2
+        try:
+            spec = CampaignSpec.from_json(spec_path.read_text())
+        except (ValueError, TypeError, KeyError) as exc:
+            print(f"invalid spec file {spec_path}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        spec = CampaignSpec(
+            name=args.name,
+            algorithms=tuple(args.algorithms),
+            sizes=tuple(args.sizes),
+            fills=tuple(args.fills),
+            n_seeds=args.seeds,
+            master_seed=args.seed,
+            fpga=args.fpga,
+            timing=args.timing,
+            loss_models=(LossSpec(),) if args.loss else (None,),
+        )
+    if args.dump_spec:
+        print(spec.to_json())
+        return 0
+
+    unknown = [a for a in spec.algorithms if a not in list_algorithms()]
+    if unknown:
+        print(
+            f"unknown algorithm(s): {', '.join(unknown)}; "
+            f"known: {', '.join(list_algorithms())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    cache = None if args.no_cache else TrialCache(args.cache_dir)
+    campaign = ExperimentCampaign(
+        spec,
+        executor=make_executor(args.workers, args.chunksize),
+        cache=cache,
+        observer=NullObserver() if args.quiet else ConsoleObserver(),
+    )
+    result = campaign.run()
+    print(result.format_table())
+    print(
+        f"[{result.cache_hits}/{result.n_trials} trials from cache, "
+        f"{result.duration_s:.2f}s]"
+    )
     if args.csv:
         path = result.write_csv(args.csv)
         print(f"[written to {path}]")
@@ -202,9 +277,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", type=int, nargs="+", default=[20, 30])
     p.add_argument("--fills", type=float, nargs="+", default=[0.5, 0.6])
     p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--workers", type=int, default=1,
+                   help="trial-execution processes (1 = in-process)")
     p.add_argument("--csv", type=str, default=None,
                    help="also write the sweep to this CSV file")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run an experiment campaign over a scenario grid",
+        description=(
+            "Expand a scenario grid (algorithm x size x fill), run every "
+            "seeded trial exactly once (parallel across processes with "
+            "--workers), cache per-trial results on disk, and print the "
+            "aggregate table."
+        ),
+    )
+    p.add_argument("--spec", type=str, default=None,
+                   help="load the campaign spec from this JSON file")
+    p.add_argument("--name", type=str, default="cli")
+    p.add_argument("--algorithms", nargs="+", default=["qrm"],
+                   metavar="ALGO")
+    p.add_argument("--sizes", type=int, nargs="+", default=[20])
+    p.add_argument("--fills", type=float, nargs="+", default=[0.5])
+    p.add_argument("--seeds", type=int, default=5,
+                   help="trials per grid cell")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed for the per-trial RNG streams")
+    p.add_argument("--fpga", action="store_true",
+                   help="add FPGA cycle-model metrics (qrm cells only)")
+    p.add_argument("--timing", action="store_true",
+                   help="add measured Python wall-clock metrics "
+                        "(non-deterministic)")
+    p.add_argument("--loss", action="store_true",
+                   help="replay schedules through the default atom-loss "
+                        "model")
+    p.add_argument("--workers", type=int, default=1,
+                   help="trial-execution processes (1 = in-process)")
+    p.add_argument("--chunksize", type=int, default=1,
+                   help="trials dispatched to a worker at a time")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help="trial cache directory (default: "
+                        "$REPRO_CACHE_DIR or .repro-cache/campaigns)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="do not read or write the trial cache")
+    p.add_argument("--csv", type=str, default=None,
+                   help="also write the aggregate table to this CSV file")
+    p.add_argument("--dump-spec", action="store_true",
+                   help="print the expanded spec as JSON and exit")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress output")
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("resources", help="FPGA resource estimate")
     p.add_argument("--size", type=int, default=50)
@@ -225,7 +348,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import GeometryError
 from repro.lattice.array import AtomArray
-from repro.lattice.geometry import ArrayGeometry, Quadrant, Region
+from repro.lattice.geometry import Quadrant, Region
 
 
 class TestConstruction:

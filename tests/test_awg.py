@@ -58,9 +58,6 @@ class TestSegment:
         segment = Segment("s", duration_us=10.0, tones=(Tone(10.0, 20.0),))
         rate = 2000.0
         samples = segment.synthesize(sample_rate_msps=rate)
-        phase = np.unwrap(np.angle(
-            np.exp(1j * np.arcsin(np.clip(samples, -1, 1)))
-        ))
         # Simpler check: the analytic phase formula at t=T gives the
         # mid-frequency sweep: phi(T) = 2*pi*(f0*T + (f1-f0)*T/2).
         assert samples.size == int(10.0 * rate)

@@ -95,3 +95,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "target_fill" in out
         assert csv_path.exists()
+
+    def test_campaign(self, capsys, tmp_path):
+        csv_path = tmp_path / "campaign.csv"
+        assert main(
+            ["campaign", "--name", "clitest", "--algorithms", "qrm",
+             "tetris", "--sizes", "10", "--fills", "0.5", "--seeds", "2",
+             "--cache-dir", str(tmp_path / "cache"), "--csv", str(csv_path),
+             "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Campaign 'clitest'" in out
+        assert "[0/4 trials from cache" in out
+        assert csv_path.exists()
+        # Second invocation is served entirely from the cache.
+        assert main(
+            ["campaign", "--name", "clitest", "--algorithms", "qrm",
+             "tetris", "--sizes", "10", "--fills", "0.5", "--seeds", "2",
+             "--cache-dir", str(tmp_path / "cache"), "--quiet"]
+        ) == 0
+        assert "[4/4 trials from cache" in capsys.readouterr().out
+
+    def test_campaign_spec_file_round_trip(self, capsys, tmp_path):
+        assert main(
+            ["campaign", "--name", "fromfile", "--sizes", "10",
+             "--seeds", "1", "--dump-spec"]
+        ) == 0
+        spec_json = capsys.readouterr().out
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec_json)
+        assert main(
+            ["campaign", "--spec", str(spec_path), "--no-cache", "--quiet"]
+        ) == 0
+        assert "Campaign 'fromfile'" in capsys.readouterr().out

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -12,7 +11,7 @@ from repro.fpga.load_data import LoadDataModule, LoadVectorUnit
 from repro.fpga.quadrant_processor import LineToken, build_lane, iteration_tokens
 from repro.fpga.output_concat import AxiWriteSink, OutputConcatUnit
 from repro.fpga.row_combination import RowCombinationUnit
-from repro.fpga.sim import Fifo, Simulator, SourceModule
+from repro.fpga.sim import Simulator, SourceModule
 from repro.lattice.geometry import Quadrant
 from repro.lattice.loading import load_uniform
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.passes import Phase, run_pass
 from repro.core.scan import is_prefix_line

@@ -7,7 +7,6 @@ import pytest
 from repro.errors import SimulationError
 from repro.fpga.accelerator import QrmAccelerator
 from repro.fpga.sim import (
-    Fifo,
     RateConsumerModule,
     SimulationTrace,
     Simulator,

@@ -11,7 +11,6 @@ from repro.core.qrm import QrmScheduler
 from repro.core.repair import repair_defects
 from repro.core.typical import TypicalScheduler
 from repro.lattice.array import AtomArray
-from repro.lattice.geometry import ArrayGeometry
 from repro.lattice.loading import load_uniform
 
 
