@@ -1,0 +1,72 @@
+"""Perf benchmark: schedule-construction wall time + QRM speedup record.
+
+Runs the ``repro bench`` engine in smoke mode (CI-sized grid) and writes
+``benchmarks/results/BENCH_qrm_smoke.json``.  The full grid — W in
+{32, 64, 128} with the 64x64 before/after speedup block — is what
+``repro bench`` produces and is committed at the repository root as
+``BENCH_qrm.json``; this test keeps the harness itself exercised and
+the smoke artefact fresh without minutes of CI time.
+
+Also asserts the provenance claim behind the speedup numbers: the
+pinned seed implementation, the live reference oracle, and the
+vectorised scheduler emit bit-identical schedules.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.analysis.perf import measure_qrm_speedup, run_perf_suite
+from repro.analysis.seed_baseline import seed_run_pass
+from repro.core.passes import run_pass_reference
+from repro.core.qrm import QrmScheduler
+from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.loading import load_uniform
+
+
+def test_bench_perf_smoke(seed_base, results_dir, emit):
+    report = run_perf_suite(
+        sizes=(16, 32),
+        fills=(0.5,),
+        algorithms=("qrm", "tetris"),
+        trials=2,
+        master_seed=seed_base,
+        speedup_size=32,
+    )
+    emit("BENCH_perf_smoke", report.format_table())
+    path = report.write_json(results_dir / "BENCH_qrm_smoke.json")
+    payload = json.loads(path.read_text())
+    assert payload["schema_version"] >= 1
+    assert len(payload["entries"]) == 4
+    for entry in payload["entries"]:
+        assert entry["wall_ms"]["min"] <= entry["wall_ms"]["mean"]
+        assert entry["wall_ms"]["mean"] <= entry["wall_ms"]["max"]
+        assert entry["moves"]["mean"] > 0
+    speedup = payload["speedup"]
+    assert speedup["speedup_vs_seed"] > 0
+    assert speedup["speedup_vs_reference"] > 0
+
+
+def test_speedup_block_shape(seed_base):
+    block = measure_qrm_speedup(size=16, trials=1, master_seed=seed_base)
+    assert set(block) >= {
+        "vectorized_ms", "reference_ms", "seed_ms",
+        "speedup_vs_seed", "speedup_vs_reference",
+    }
+
+
+def test_seed_baseline_schedules_match_live_paths(seed_base):
+    # The "before" implementation the bench times must be semantically
+    # the same scheduler, or the speedup numbers are meaningless.
+    geometry = ArrayGeometry.square(16)
+    array = load_uniform(geometry, 0.5, rng=seed_base)
+    vectorized = QrmScheduler(geometry).schedule(array)
+    for runner in (seed_run_pass, run_pass_reference):
+        other = QrmScheduler(geometry, pass_runner=runner).schedule(array)
+        assert len(other.schedule) == len(vectorized.schedule)
+        for ours, theirs in zip(vectorized.schedule, other.schedule):
+            assert ours == theirs
+            assert ours.tag == theirs.tag
+        assert np.array_equal(other.final.grid, vectorized.final.grid)

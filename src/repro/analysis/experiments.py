@@ -20,11 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.stats import FillStats, Summary
+from repro.analysis.stats import FillStats
 from repro.analysis.tables import format_table, to_csv
 from repro.baselines.cost_model import model_cpu_time_us
-from repro.campaign.spec import CampaignSpec, LossSpec
-from repro.config import QrmParameters, ScanMode
+from repro.campaign.spec import CampaignSpec, LossSpec, QrmSpec, ScenarioCell
+from repro.config import ScanMode
 from repro.fpga.accelerator import QrmAccelerator
 from repro.fpga.resources import ResourceModel
 from repro.lattice.geometry import ArrayGeometry
@@ -49,10 +49,6 @@ PAPER_FIG7B_US = {
 PAPER_FIG8_AT_90 = {"LUT": 6.31, "FF": 6.19}
 
 DEFAULT_SIZES = (10, 30, 50, 70, 90)
-
-
-def _seeds(seed_base: int, trials: int) -> list[int]:
-    return [seed_base + i for i in range(trials)]
 
 
 def _run_campaign(spec: CampaignSpec, executor, cache):
@@ -400,49 +396,63 @@ def run_ablation(
     trials: int = 3,
     seed_base: int = 0,
     fill: float = 0.5,
+    executor=None,
+    cache=None,
 ) -> AblationResult:
-    """Design-choice ablation for the column-pass staleness and merging."""
+    """Design-choice ablation for the column-pass staleness and merging.
+
+    Runs on the campaign engine: every variant is one grid cell with a
+    :class:`~repro.campaign.spec.QrmSpec` parameter override, so the
+    paired seeding guarantees all variants analyse identical loaded
+    arrays, and ``executor=``/``cache=`` add parallelism and incremental
+    re-runs like every other grid-shaped experiment.
+    """
     geometry = ArrayGeometry.square(size)
-    result = AblationResult(size=size)
     variants = [
-        ("pipelined", QrmParameters(scan_mode=ScanMode.PIPELINED)),
-        ("fresh", QrmParameters(scan_mode=ScanMode.FRESH)),
+        ("pipelined", QrmSpec(scan_mode=ScanMode.PIPELINED.value)),
+        ("fresh", QrmSpec(scan_mode=ScanMode.FRESH.value)),
         (
             "pipelined",
-            QrmParameters(
-                scan_mode=ScanMode.PIPELINED, merge_mirror_quadrants=False
+            QrmSpec(
+                scan_mode=ScanMode.PIPELINED.value,
+                merge_mirror_quadrants=False,
             ),
         ),
         (
             "pipelined+s_en",
-            QrmParameters(
-                scan_mode=ScanMode.PIPELINED,
+            QrmSpec(
+                scan_mode=ScanMode.PIPELINED.value,
                 scan_limit=max(1, geometry.target_width // 2),
             ),
         ),
     ]
-    for mode, params in variants:
-        iters, moves, fills_, stale, fpga = [], [], [], [], []
-        for seed in _seeds(seed_base, trials):
-            array = load_uniform(geometry, fill, rng=seed)
-            run = QrmAccelerator(geometry, params=params).run(array)
-            res = run.result
-            iters.append(float(res.iterations_used))
-            moves.append(float(res.n_moves))
-            fills_.append(res.target_fill_fraction)
-            stale.append(
-                float(sum(i.n_skipped_stale for i in res.iterations))
+    spec = CampaignSpec(
+        name="ablation",
+        algorithms=(),
+        sizes=(),
+        n_seeds=trials,
+        master_seed=seed_base,
+        extra_cells=tuple(
+            ScenarioCell(
+                algorithm="qrm", size=size, fill=fill, fpga=True, qrm=qrm
             )
-            fpga.append(run.report.time_us)
+            for _, qrm in variants
+        ),
+    )
+    campaign = _run_campaign(spec, executor, cache)
+
+    result = AblationResult(size=size)
+    for mode, qrm in variants:
+        aggregate = campaign.aggregate_for(qrm=qrm)
         result.rows.append(
             AblationRow(
                 mode=mode,
-                merge=params.merge_mirror_quadrants,
-                iterations=Summary.of(iters).mean,
-                moves=Summary.of(moves).mean,
-                target_fill=Summary.of(fills_).mean,
-                skipped_stale=Summary.of(stale).mean,
-                fpga_us=Summary.of(fpga).mean,
+                merge=qrm.merge_mirror_quadrants,
+                iterations=aggregate.mean("iterations"),
+                moves=aggregate.mean("moves"),
+                target_fill=aggregate.mean("target_fill"),
+                skipped_stale=aggregate.mean("skipped_stale"),
+                fpga_us=aggregate.mean("fpga_us"),
             )
         )
     return result

@@ -1,0 +1,275 @@
+"""Schedule-construction performance benchmark harness (``repro bench``).
+
+The paper's headline is that rearrangement analysis must be orders of
+magnitude faster than a CPU reference, so this repository tracks its own
+scheduling latency as a first-class artefact: ``repro bench`` times
+schedule construction for QRM and the published baselines over a grid of
+array sizes and fill fractions, and writes a machine-readable
+``BENCH_qrm.json`` with mean/std/min/max per case.
+
+The report also carries a *speedup* block for the QRM hot path: the
+vectorised scheduler vs. the live per-command reference oracle
+(:func:`repro.core.passes.run_pass_reference`) and vs. the pinned
+pre-vectorization seed implementation
+(:mod:`repro.analysis.seed_baseline`), so both the "before" and "after"
+numbers of the vectorisation live in the same file.
+
+Timings are wall-clock and therefore machine- and run-dependent; the
+JSON is a report, not a regression gate.  Everything else (trial seeds,
+schedule sizes) is deterministic under ``master_seed``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import Summary
+from repro.analysis.tables import format_table
+from repro.baselines.base import get_algorithm
+from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.loading import load_uniform
+
+#: Bump when the JSON layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+DEFAULT_SIZES = (32, 64, 128)
+DEFAULT_FILLS = (0.3, 0.5, 0.7)
+DEFAULT_ALGORITHMS = ("qrm", "tetris", "psca", "mta1")
+
+#: Largest array each slow scheduler is benchmarked at by default.
+#: Cases beyond a cap are recorded in the report's ``skipped`` list —
+#: never silently dropped (mta1 is ~1 minute per 128x128 schedule).
+SIZE_CAPS: dict[str, int] = {"mta1": 64}
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One (algorithm, size, fill) timing scenario."""
+
+    algorithm: str
+    size: int
+    fill: float
+
+    def label(self) -> str:
+        return f"{self.algorithm} {self.size}x{self.size} fill={self.fill:g}"
+
+
+def summary_dict(summary: Summary) -> dict:
+    """JSON shape of a :class:`Summary` used throughout ``BENCH_*.json``."""
+    return {
+        "mean": summary.mean,
+        "std": summary.std,
+        "min": summary.minimum,
+        "max": summary.maximum,
+    }
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """Timing summary of one case over its seeded trials."""
+
+    case: BenchCase
+    wall_ms: Summary
+    moves: Summary
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.case.algorithm,
+            "size": self.case.size,
+            "fill": self.case.fill,
+            "trials": self.wall_ms.n,
+            "wall_ms": summary_dict(self.wall_ms),
+            "moves": summary_dict(self.moves),
+        }
+
+
+@dataclass
+class PerfReport:
+    """Everything one ``repro bench`` invocation measured."""
+
+    master_seed: int
+    trials: int
+    records: list[BenchRecord] = field(default_factory=list)
+    skipped: list[dict] = field(default_factory=list)
+    speedup: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "master_seed": self.master_seed,
+            "trials": self.trials,
+            "environment": {
+                "python": sys.version.split()[0],
+                "numpy": np.__version__,
+                "platform": platform.platform(),
+            },
+            "entries": [record.to_dict() for record in self.records],
+            "skipped": self.skipped,
+            "speedup": self.speedup,
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def format_table(self) -> str:
+        headers = [
+            "algorithm", "size", "fill", "trials",
+            "wall_ms", "std", "min", "max", "moves",
+        ]
+        body = [
+            [
+                r.case.algorithm, r.case.size, r.case.fill, r.wall_ms.n,
+                r.wall_ms.mean, r.wall_ms.std, r.wall_ms.minimum,
+                r.wall_ms.maximum, r.moves.mean,
+            ]
+            for r in self.records
+        ]
+        parts = [
+            format_table(
+                headers, body,
+                title="Schedule-construction wall time (per schedule)",
+            )
+        ]
+        for skip in self.skipped:
+            parts.append(
+                f"[skipped {skip['algorithm']} at {skip['size']}: "
+                f"{skip['reason']}]"
+            )
+        if self.speedup is not None:
+            s = self.speedup
+            parts.append(
+                f"QRM {s['size']}x{s['size']} hot path: "
+                f"vectorized {s['vectorized_ms']['mean']:.2f} ms, "
+                f"reference {s['reference_ms']['mean']:.2f} ms, "
+                f"seed (pre-PR) {s['seed_ms']['mean']:.2f} ms -> "
+                f"{s['speedup_vs_seed']:.1f}x vs seed, "
+                f"{s['speedup_vs_reference']:.1f}x vs reference"
+            )
+        return "\n".join(parts)
+
+
+def _time_schedules(
+    make_scheduler: Callable[[ArrayGeometry], object],
+    size: int,
+    fill: float,
+    trials: int,
+    master_seed: int,
+) -> tuple[Summary, Summary]:
+    """Time ``trials`` seeded schedule constructions; returns (ms, moves)."""
+    geometry = ArrayGeometry.square(size)
+    scheduler = make_scheduler(geometry)
+    wall_ms: list[float] = []
+    moves: list[float] = []
+    for index in range(trials):
+        array = load_uniform(geometry, fill, rng=master_seed + index)
+        start = time.perf_counter()
+        result = scheduler.schedule(array)
+        wall_ms.append((time.perf_counter() - start) * 1e3)
+        moves.append(float(result.n_moves))
+    return Summary.of(wall_ms), Summary.of(moves)
+
+
+def measure_qrm_speedup(
+    size: int = 64,
+    fill: float = 0.5,
+    trials: int = 3,
+    master_seed: int = 0,
+) -> dict:
+    """Time the QRM hot path under all three pass implementations.
+
+    Returns a JSON-ready mapping with the vectorised, live-reference,
+    and pinned-seed ("pre-PR") timings plus their ratios — the
+    before/after record the vectorisation is judged by.
+    """
+    from repro.analysis.seed_baseline import seed_run_pass
+    from repro.core.passes import run_pass, run_pass_reference
+    from repro.core.qrm import QrmScheduler
+
+    timings: dict[str, Summary] = {}
+    for name, runner in (
+        ("vectorized", run_pass),
+        ("reference", run_pass_reference),
+        ("seed", seed_run_pass),
+    ):
+        wall_ms, _ = _time_schedules(
+            lambda geo, r=runner: QrmScheduler(geo, pass_runner=r),
+            size, fill, trials, master_seed,
+        )
+        timings[name] = wall_ms
+
+    return {
+        "size": size,
+        "fill": fill,
+        "trials": trials,
+        "vectorized_ms": summary_dict(timings["vectorized"]),
+        "reference_ms": summary_dict(timings["reference"]),
+        "seed_ms": summary_dict(timings["seed"]),
+        "speedup_vs_seed": timings["seed"].mean / timings["vectorized"].mean,
+        "speedup_vs_reference": (
+            timings["reference"].mean / timings["vectorized"].mean
+        ),
+    }
+
+
+def run_perf_suite(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    fills: Sequence[float] = DEFAULT_FILLS,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    trials: int = 3,
+    master_seed: int = 0,
+    size_caps: dict[str, int] | None = None,
+    speedup_size: int | None = 64,
+    observer: Callable[[str], None] | None = None,
+) -> PerfReport:
+    """Time schedule construction over the benchmark grid.
+
+    ``size_caps`` bounds slow schedulers (default :data:`SIZE_CAPS`);
+    capped cases land in the report's ``skipped`` list.  With
+    ``speedup_size`` set, the QRM before/after speedup block is measured
+    at that size (``None`` skips it, e.g. in CI smoke mode).
+    """
+    caps = SIZE_CAPS if size_caps is None else size_caps
+    report = PerfReport(master_seed=master_seed, trials=trials)
+    for algorithm in algorithms:
+        for size in sizes:
+            cap = caps.get(algorithm)
+            if cap is not None and size > cap:
+                report.skipped.append(
+                    {
+                        "algorithm": algorithm,
+                        "size": size,
+                        "reason": f"size above default cap {cap} "
+                                  f"(pass --no-size-caps to include)",
+                    }
+                )
+                continue
+            for fill in fills:
+                case = BenchCase(algorithm=algorithm, size=size, fill=fill)
+                if observer is not None:
+                    observer(case.label())
+                wall_ms, moves = _time_schedules(
+                    lambda geo, name=algorithm: get_algorithm(name, geo),
+                    size, fill, trials, master_seed,
+                )
+                report.records.append(
+                    BenchRecord(case=case, wall_ms=wall_ms, moves=moves)
+                )
+    if speedup_size is not None:
+        if observer is not None:
+            observer(f"qrm speedup block at {speedup_size}x{speedup_size}")
+        report.speedup = measure_qrm_speedup(
+            size=speedup_size, trials=trials, master_seed=master_seed
+        )
+    return report

@@ -53,6 +53,31 @@ class LineShift:
         if self.steps < 1:
             raise MoveError(f"steps must be >= 1, got {self.steps}")
 
+    @classmethod
+    def trusted(
+        cls,
+        direction: Direction,
+        line: int,
+        span_start: int,
+        span_stop: int,
+        steps: int = 1,
+    ) -> "LineShift":
+        """Build a shift without ``__post_init__`` validation.
+
+        For bulk producers (the vectorised QRM pass) whose spans are
+        valid by construction and property-tested against the validating
+        reference path; everyone else should use the normal constructor.
+        """
+        shift = object.__new__(cls)
+        shift.__dict__.update(
+            direction=direction,
+            line=line,
+            span_start=span_start,
+            span_stop=span_stop,
+            steps=steps,
+        )
+        return shift
+
     @property
     def span_length(self) -> int:
         return self.span_stop - self.span_start
@@ -132,6 +157,25 @@ class ParallelMove:
                     f"two shifts target the same line {shift.line}"
                 )
             lines_seen.add(shift.line)
+
+    @classmethod
+    def trusted(
+        cls,
+        direction: Direction,
+        steps: int,
+        shifts: tuple[LineShift, ...],
+        tag: str = "",
+    ) -> "ParallelMove":
+        """Bundle shifts without the lockstep re-validation.
+
+        Counterpart of :meth:`LineShift.trusted` for bulk producers that
+        guarantee uniform direction/steps and distinct lines upfront.
+        """
+        move = object.__new__(cls)
+        move.__dict__.update(
+            direction=direction, steps=steps, shifts=shifts, tag=tag
+        )
+        return move
 
     @classmethod
     def of(cls, shifts: list[LineShift], tag: str = "") -> "ParallelMove":

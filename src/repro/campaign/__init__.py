@@ -31,6 +31,7 @@ from repro.campaign.observer import (
 from repro.campaign.spec import (
     CampaignSpec,
     LossSpec,
+    QrmSpec,
     ScenarioCell,
     grid_spec,
     stable_hash,
@@ -49,6 +50,7 @@ __all__ = [
     "LossSpec",
     "MultiprocessingExecutor",
     "NullObserver",
+    "QrmSpec",
     "RecordingObserver",
     "ScenarioCell",
     "SerialExecutor",

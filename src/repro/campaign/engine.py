@@ -40,6 +40,7 @@ METRIC_ORDER = (
     "fill_after_loss",
     "motion_ms",
     "analysis_ops",
+    "skipped_stale",
 )
 
 
@@ -111,10 +112,21 @@ class CampaignResult:
         ordered.extend(sorted(present - set(ordered) - {"defect_free"}))
         return ordered
 
-    def _headers_and_rows(self) -> tuple[list[str], list[list]]:
+    def _headers_and_rows(
+        self, stats: bool = False
+    ) -> tuple[list[str], list[list]]:
+        """Aggregate table content.
+
+        With ``stats=True`` every metric expands into mean/std/min/max
+        columns (the full :class:`~repro.analysis.stats.Summary`);
+        otherwise each metric is its mean, as the seed tables showed.
+        """
         metric_names = self._metric_columns()
         headers = ["algorithm", "size", "fill", "trials", "p_success"]
-        headers.extend(metric_names)
+        for name in metric_names:
+            headers.append(name)
+            if stats:
+                headers += [f"{name}_std", f"{name}_min", f"{name}_max"]
         rows = []
         for aggregate in self.aggregates:
             cell = aggregate.cell
@@ -125,15 +137,19 @@ class CampaignResult:
                 aggregate.trials,
                 aggregate.success_probability,
             ]
-            row.extend(
-                aggregate.metrics[name].mean if name in aggregate.metrics else ""
-                for name in metric_names
-            )
+            for name in metric_names:
+                summary = aggregate.metrics.get(name)
+                if summary is None:
+                    row += [""] * (4 if stats else 1)
+                    continue
+                row.append(summary.mean)
+                if stats:
+                    row += [summary.std, summary.minimum, summary.maximum]
             rows.append(row)
         return headers, rows
 
-    def format_table(self) -> str:
-        headers, rows = self._headers_and_rows()
+    def format_table(self, stats: bool = False) -> str:
+        headers, rows = self._headers_and_rows(stats=stats)
         title = (
             f"Campaign '{self.spec.name}' "
             f"[{self.spec.spec_hash()}]: {self.n_trials} trials, "
@@ -141,14 +157,14 @@ class CampaignResult:
         )
         return format_table(headers, rows, title=title)
 
-    def to_csv(self) -> str:
-        headers, rows = self._headers_and_rows()
+    def to_csv(self, stats: bool = False) -> str:
+        headers, rows = self._headers_and_rows(stats=stats)
         return to_csv(headers, rows)
 
-    def write_csv(self, path: str | Path) -> Path:
+    def write_csv(self, path: str | Path, stats: bool = False) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_csv() + "\n")
+        path.write_text(self.to_csv(stats=stats) + "\n")
         return path
 
     def fill_stats(self) -> list[FillStats]:

@@ -33,7 +33,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.errors import ConfigurationError
 
 #: Bump to invalidate every cached trial when the metric schema changes.
-TRIAL_SCHEMA_VERSION = 1
+TRIAL_SCHEMA_VERSION = 2
 
 
 def stable_hash(payload: Any) -> str:
@@ -77,6 +77,58 @@ class LossSpec:
 
 
 @dataclass(frozen=True)
+class QrmSpec:
+    """Serialisable mirror of :class:`repro.config.QrmParameters`.
+
+    Attaching one to a cell runs that cell's QRM scheduler (and FPGA
+    cycle model) with non-default algorithm parameters — the ablation
+    study sweeps scan modes, mirror merging, and the ``s_en`` bound this
+    way.  ``scan_mode`` is the string value of
+    :class:`repro.config.ScanMode` so specs stay plain JSON.
+    """
+
+    n_iterations: int = 4
+    scan_mode: str = "pipelined"
+    merge_mirror_quadrants: bool = True
+    enable_repair: bool = False
+    scan_limit: int | None = None
+
+    def to_params(self):
+        from repro.config import QrmParameters, ScanMode
+
+        return QrmParameters(
+            n_iterations=self.n_iterations,
+            scan_mode=ScanMode(self.scan_mode),
+            merge_mirror_quadrants=self.merge_mirror_quadrants,
+            enable_repair=self.enable_repair,
+            scan_limit=self.scan_limit,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_iterations": self.n_iterations,
+            "scan_mode": self.scan_mode,
+            "merge_mirror_quadrants": self.merge_mirror_quadrants,
+            "enable_repair": self.enable_repair,
+            "scan_limit": self.scan_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QrmSpec":
+        return cls(**dict(data))
+
+    def label(self) -> str:
+        parts = [self.scan_mode]
+        if not self.merge_mirror_quadrants:
+            parts.append("split")
+        if self.scan_limit is not None:
+            parts.append(f"s_en={self.scan_limit}")
+        if self.enable_repair:
+            parts.append("repair")
+        return "+".join(parts)
+
+
+@dataclass(frozen=True)
 class ScenarioCell:
     """One grid point of a campaign: a fully specified scenario.
 
@@ -95,6 +147,7 @@ class ScenarioCell:
     loss: LossSpec | None = None
     fpga: bool = False
     timing: bool = False
+    qrm: QrmSpec | None = None
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -105,6 +158,11 @@ class ScenarioCell:
             raise ConfigurationError(
                 "the FPGA cycle model only implements the 'qrm' algorithm; "
                 f"cell requested fpga metrics for '{self.algorithm}'"
+            )
+        if self.qrm is not None and self.algorithm != "qrm":
+            raise ConfigurationError(
+                "qrm parameter overrides only apply to the 'qrm' algorithm; "
+                f"cell requested them for '{self.algorithm}'"
             )
 
     def instance_key(self) -> dict[str, Any]:
@@ -124,6 +182,7 @@ class ScenarioCell:
             "loss": self.loss.to_dict() if self.loss is not None else None,
             "fpga": self.fpga,
             "timing": self.timing,
+            "qrm": self.qrm.to_dict() if self.qrm is not None else None,
         }
 
     @classmethod
@@ -132,12 +191,17 @@ class ScenarioCell:
         loss = payload.get("loss")
         if loss is not None:
             payload["loss"] = LossSpec.from_dict(loss)
+        qrm = payload.get("qrm")
+        if qrm is not None:
+            payload["qrm"] = QrmSpec.from_dict(qrm)
         return cls(**payload)
 
     def label(self) -> str:
         parts = [self.algorithm, f"{self.size}x{self.size}", f"fill={self.fill:g}"]
         if self.target is not None:
             parts.insert(2, f"target={self.target}")
+        if self.qrm is not None:
+            parts.append(self.qrm.label())
         if self.loss is not None:
             parts.append("loss")
         return " ".join(parts)

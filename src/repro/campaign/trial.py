@@ -92,7 +92,12 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     load_seed, loss_seed = trial.seed_sequence().spawn(2)
     array = load_uniform(geometry, cell.fill, rng=np.random.default_rng(load_seed))
 
-    algorithm = get_algorithm(cell.algorithm, geometry)
+    if cell.qrm is not None:
+        from repro.core.qrm import QrmScheduler
+
+        algorithm = QrmScheduler(geometry, cell.qrm.to_params())
+    else:
+        algorithm = get_algorithm(cell.algorithm, geometry)
     start = time.perf_counter()
     result = algorithm.schedule(array)
     elapsed_us = (time.perf_counter() - start) * 1e6
@@ -110,6 +115,9 @@ def run_trial(trial: TrialSpec) -> TrialResult:
         "target_fill": float(result.target_fill_fraction),
         "defect_free": float(result.defect_free),
         "analysis_ops": float(result.analysis_ops),
+        "skipped_stale": float(
+            sum(stats.n_skipped_stale for stats in result.iterations)
+        ),
     }
     if cell.timing:
         metrics["cpu_us"] = elapsed_us
@@ -117,7 +125,11 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     if cell.fpga:
         from repro.fpga.accelerator import QrmAccelerator
 
-        run = QrmAccelerator(geometry).run(array)
+        if cell.qrm is not None:
+            accelerator = QrmAccelerator(geometry, params=cell.qrm.to_params())
+        else:
+            accelerator = QrmAccelerator(geometry)
+        run = accelerator.run(array)
         metrics["fpga_cycles"] = float(run.report.total_cycles)
         metrics["fpga_us"] = float(run.report.time_us)
 

@@ -157,6 +157,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.perf import (
+        DEFAULT_ALGORITHMS,
+        DEFAULT_FILLS,
+        DEFAULT_SIZES,
+        run_perf_suite,
+    )
+
+    if args.smoke:
+        sizes = args.sizes or [16, 32]
+        fills = args.fills or [0.5]
+        algorithms = args.algorithms or ["qrm", "tetris"]
+        trials = args.trials or 2
+        speedup_size = args.speedup_size or 32
+    else:
+        sizes = args.sizes or list(DEFAULT_SIZES)
+        fills = args.fills or list(DEFAULT_FILLS)
+        algorithms = args.algorithms or list(DEFAULT_ALGORITHMS)
+        trials = args.trials or 3
+        speedup_size = args.speedup_size or 64
+
+    unknown = [a for a in algorithms if a not in list_algorithms()]
+    if unknown:
+        print(
+            f"unknown algorithm(s): {', '.join(unknown)}; "
+            f"known: {', '.join(list_algorithms())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    observer = None if args.quiet else (
+        lambda label: print(f"[bench] {label}", file=sys.stderr)
+    )
+    report = run_perf_suite(
+        sizes=sizes,
+        fills=fills,
+        algorithms=algorithms,
+        trials=trials,
+        master_seed=args.seed,
+        size_caps={} if args.no_size_caps else None,
+        speedup_size=None if args.no_speedup else speedup_size,
+        observer=observer,
+    )
+    print(report.format_table())
+    path = report.write_json(args.out)
+    print(f"[written to {path}]")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -213,13 +262,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         observer=NullObserver() if args.quiet else ConsoleObserver(),
     )
     result = campaign.run()
-    print(result.format_table())
+    print(result.format_table(stats=args.stats))
     print(
         f"[{result.cache_hits}/{result.n_trials} trials from cache, "
         f"{result.duration_s:.2f}s]"
     )
     if args.csv:
-        path = result.write_csv(args.csv)
+        path = result.write_csv(args.csv, stats=args.stats)
         print(f"[written to {path}]")
     return 0
 
@@ -323,11 +372,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="do not read or write the trial cache")
     p.add_argument("--csv", type=str, default=None,
                    help="also write the aggregate table to this CSV file")
+    p.add_argument("--stats", action="store_true",
+                   help="expand every metric into mean/std/min/max columns")
     p.add_argument("--dump-spec", action="store_true",
                    help="print the expanded spec as JSON and exit")
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress output")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "bench",
+        help="schedule-construction performance benchmark",
+        description=(
+            "Time schedule construction for QRM and the baselines over a "
+            "size x fill grid, print the summary table, and write the "
+            "machine-readable results (with the QRM before/after "
+            "vectorisation speedup) to a BENCH_*.json file."
+        ),
+    )
+    p.add_argument("--sizes", type=int, nargs="+", default=None,
+                   help="array widths to benchmark (default 32 64 128)")
+    p.add_argument("--fills", type=float, nargs="+", default=None,
+                   help="loading fills to benchmark (default 0.3 0.5 0.7)")
+    p.add_argument("--algorithms", nargs="+", default=None, metavar="ALGO",
+                   help="schedulers to time (default qrm tetris psca mta1)")
+    p.add_argument("--trials", type=int, default=None,
+                   help="seeded trials per case (default 3)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed for the per-trial loads")
+    p.add_argument("--out", type=str, default="BENCH_qrm.json",
+                   help="output JSON path (default ./BENCH_qrm.json)")
+    p.add_argument("--speedup-size", type=int, default=None,
+                   help="array width for the QRM before/after block "
+                        "(default 64, or 32 with --smoke)")
+    p.add_argument("--no-speedup", action="store_true",
+                   help="skip the QRM before/after speedup block")
+    p.add_argument("--no-size-caps", action="store_true",
+                   help="also run slow baselines above their default "
+                        "size caps (mta1 at 128 takes ~1 minute/trial)")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fast grid for CI (qrm+tetris at 16/32)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-case progress on stderr")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("resources", help="FPGA resource estimate")
     p.add_argument("--size", type=int, default=50)

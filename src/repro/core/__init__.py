@@ -1,17 +1,25 @@
 """QRM core: scan kernel, pass batching, schedulers, repair stage."""
 
-from repro.core.passes import Phase, PassOutcome, run_pass
+from repro.core.passes import (
+    Phase,
+    PassOutcome,
+    batch_order_key,
+    run_pass,
+    run_pass_reference,
+)
 from repro.core.qrm import QrmScheduler, rearrange
 from repro.core.repair import RepairOutcome, repair_defects
 from repro.core.result import IterationStats, RearrangementResult
 from repro.core.scan import (
     LineScanResult,
+    QuadrantScan,
     compact_line,
     current_hole_position,
     is_prefix_line,
     is_young_diagram,
     scan_axis,
     scan_line,
+    scan_quadrant,
 )
 from repro.core.typical import TypicalScheduler
 
@@ -21,9 +29,11 @@ __all__ = [
     "PassOutcome",
     "Phase",
     "QrmScheduler",
+    "QuadrantScan",
     "RearrangementResult",
     "RepairOutcome",
     "TypicalScheduler",
+    "batch_order_key",
     "compact_line",
     "current_hole_position",
     "is_prefix_line",
@@ -31,6 +41,8 @@ __all__ = [
     "rearrange",
     "repair_defects",
     "run_pass",
+    "run_pass_reference",
     "scan_axis",
     "scan_line",
+    "scan_quadrant",
 ]

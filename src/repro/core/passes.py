@@ -17,6 +17,13 @@ Batching implements the paper's Row Combination Unit (Sec. IV-C):
 * a command whose hole was filled in the meantime (stale column commands
   in the pipelined scan mode) is skipped, as is a command whose span no
   longer holds any atom ("empty shifts are removed").
+
+Two implementations share these semantics: :func:`run_pass_reference`
+is the per-line, per-command state machine kept as the behavioural
+oracle, and :func:`run_pass` is the production path, which drains whole
+rounds as NumPy arrays (one batched :func:`~repro.core.scan.scan_quadrant`
+per quadrant, affine span arithmetic, group-by via ``lexsort``).  The
+two are property-tested to emit bit-identical schedules.
 """
 
 from __future__ import annotations
@@ -28,7 +35,8 @@ import numpy as np
 
 from repro.aod.executor import apply_parallel_move
 from repro.aod.move import LineShift, ParallelMove
-from repro.core.scan import LineScanResult, scan_axis
+from repro.core.scan import LineScanResult, scan_axis, scan_quadrant
+from repro.errors import MoveError
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import Direction, Quadrant, QuadrantFrame
 
@@ -42,6 +50,31 @@ class Phase(enum.Enum):
 
 #: Deterministic quadrant order used everywhere.
 QUADRANT_ORDER = (Quadrant.NW, Quadrant.NE, Quadrant.SW, Quadrant.SE)
+
+#: Tie-break rank of quadrants inside one drain round when mirror
+#: merging is off: alphabetical by quadrant code, the order the seed
+#: scheduler emitted and every schedule consumer now depends on.
+QUADRANT_BATCH_RANK = {
+    Quadrant.NE: 0,
+    Quadrant.NW: 1,
+    Quadrant.SE: 2,
+    Quadrant.SW: 3,
+}
+
+_RANK_TO_QUADRANT = sorted(QUADRANT_BATCH_RANK, key=QUADRANT_BATCH_RANK.get)
+
+
+def batch_order_key(hole: int, quadrant: Quadrant | None = None) -> tuple[int, int]:
+    """Stable ordering of same-direction batches within one drain round.
+
+    Batches flush in ascending current-hole order; with per-quadrant
+    batching (mirror merging off) the tie between same-side quadrants
+    sharing a hole is broken by :data:`QUADRANT_BATCH_RANK`.  This is
+    the single definition of the schedule order — both pass
+    implementations and the regression tests use it.
+    """
+    rank = -1 if quadrant is None else QUADRANT_BATCH_RANK[quadrant]
+    return (hole, rank)
 
 
 @dataclass
@@ -107,15 +140,16 @@ def _span_to_shift(
     """
     local_lo = cur_hole + 1
     local_hi = n_positions - executed  # exclusive
+    row_base, row_sign, col_base, col_sign = frame.affine
     if phase is Phase.ROW:
-        full_line = frame.to_full(line, 0)[0]
-        a = frame.to_full(line, local_lo)[1]
-        b = frame.to_full(line, local_hi - 1)[1]
+        full_line = row_base + row_sign * line
+        a = col_base + col_sign * local_lo
+        b = col_base + col_sign * (local_hi - 1)
         direction = frame.horizontal_inward
     else:
-        full_line = frame.to_full(0, line)[1]
-        a = frame.to_full(local_lo, line)[0]
-        b = frame.to_full(local_hi - 1, line)[0]
+        full_line = col_base + col_sign * line
+        a = row_base + row_sign * local_lo
+        b = row_base + row_sign * (local_hi - 1)
         direction = frame.vertical_inward
     span_start, span_stop = (a, b + 1) if a <= b else (b, a + 1)
     return LineShift(
@@ -131,9 +165,10 @@ def _hole_site(
     frame: QuadrantFrame, phase: Phase, line: int, cur_hole: int
 ) -> tuple[int, int]:
     """Full-array site of a command's current hole."""
+    row_base, row_sign, col_base, col_sign = frame.affine
     if phase is Phase.ROW:
-        return frame.to_full(line, cur_hole)
-    return frame.to_full(cur_hole, line)
+        return row_base + row_sign * line, col_base + col_sign * cur_hole
+    return row_base + row_sign * cur_hole, col_base + col_sign * line
 
 
 def _span_has_atom(
@@ -150,15 +185,16 @@ def _span_has_atom(
     local_hi = n_positions - executed
     if local_lo >= local_hi:
         return False
+    row_base, row_sign, col_base, col_sign = frame.affine
     if phase is Phase.ROW:
-        r = frame.to_full(line, 0)[0]
-        c1 = frame.to_full(line, local_lo)[1]
-        c2 = frame.to_full(line, local_hi - 1)[1]
+        r = row_base + row_sign * line
+        c1 = col_base + col_sign * local_lo
+        c2 = col_base + col_sign * (local_hi - 1)
         lo, hi = (c1, c2) if c1 <= c2 else (c2, c1)
         return bool(grid[r, lo : hi + 1].any())
-    c = frame.to_full(0, line)[1]
-    r1 = frame.to_full(local_lo, line)[0]
-    r2 = frame.to_full(local_hi - 1, line)[0]
+    c = col_base + col_sign * line
+    r1 = row_base + row_sign * local_lo
+    r2 = row_base + row_sign * (local_hi - 1)
     lo, hi = (r1, r2) if r1 <= r2 else (r2, r1)
     return bool(grid[lo : hi + 1, c].any())
 
@@ -169,7 +205,7 @@ def _direction_order(phase: Phase) -> tuple[Direction, Direction]:
     return (Direction.SOUTH, Direction.NORTH)
 
 
-def run_pass(
+def run_pass_reference(
     array: AtomArray,
     frames: dict[Quadrant, QuadrantFrame],
     phase: Phase,
@@ -178,13 +214,13 @@ def run_pass(
     guard: bool = False,
     scan_limit: int | None = None,
 ) -> PassOutcome:
-    """Scan ``scan_source``, batch the commands, execute them on ``array``.
+    """Per-line, per-command reference implementation of one pass.
 
-    ``scan_source`` is the grid the scan reads — the live grid for a
-    fresh pass, or the iteration-start snapshot for the paper's pipelined
-    column pass.  ``guard=True`` enables the stale-command checks (hole
-    still empty, span still populated) against the live grid.
-    ``scan_limit`` forwards the ``s_en`` bound to the scans.
+    Semantically the seed scheduler: one :class:`_LineState` per line,
+    drained command by command.  Kept as the oracle the vectorised
+    :func:`run_pass` is property-tested against (bit-identical moves,
+    tags, order, and statistics), and as the readable statement of the
+    drain semantics.
     """
     outcome = PassOutcome(phase=phase)
     axis = 0 if phase is Phase.ROW else 1
@@ -239,10 +275,8 @@ def run_pass(
                 if phase is Phase.ROW
                 else state.frame.vertical_inward
             )
-            if merge_mirror:
-                key = (cur, direction)
-            else:
-                key = (cur, direction, state.frame.quadrant)
+            quadrant = None if merge_mirror else state.frame.quadrant
+            key = (cur, direction, quadrant)
             groups.setdefault(key, []).append((state, cur))
 
         if not pending:
@@ -251,7 +285,7 @@ def run_pass(
             for direction in _direction_order(phase):
                 for key in sorted(
                     (k for k in groups if k[1] is direction),
-                    key=lambda k: (k[0], k[2].value if len(k) > 2 else ""),
+                    key=lambda k: batch_order_key(k[0], k[2]),
                 ):
                     members = groups[key]
                     shifts = []
@@ -266,7 +300,7 @@ def run_pass(
                         state.executed += 1
                     shifts.sort(key=lambda s: s.line)
                     tag = f"{phase.value}-k{round_index}-h{key[0]}"
-                    if not merge_mirror:
+                    if key[2] is not None:
                         tag += f"-{key[2].value}"
                     move = ParallelMove.of(shifts, tag=tag)
                     apply_parallel_move(grid, move)
@@ -277,4 +311,409 @@ def run_pass(
             # Safety net: each line has at most n_positions commands.
             raise RuntimeError("pass failed to drain its command lists")
 
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Vectorised pass
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class _CommandTable:
+    """All pending commands of one pass as flat per-state NumPy arrays.
+
+    One *state* is one line with at least one command.  Command ``k`` of
+    every state drains in round ``k``; per-command hole positions live in
+    ``holes_flat`` at ``offsets[state] + k``.  States are ordered by
+    descending command count so the states active in round ``k`` are
+    always the prefix ``[:m]`` — the guarded drain slices instead of
+    gathering.  (State order never reaches the schedule: batches are
+    explicitly sorted by round/direction/hole/line at emission.)
+    """
+
+    n_holes: np.ndarray  # commands per state
+    offsets: np.ndarray  # start of each state's slice of holes_flat
+    holes_flat: np.ndarray  # concatenated scanned hole positions
+    line_full: np.ndarray  # full-array line index per state
+    span_base: np.ndarray  # affine base on the span axis, per state
+    span_sign: np.ndarray  # affine sign on the span axis, per state
+    n_positions: np.ndarray  # quadrant extent along the span axis
+    dir_rank: np.ndarray  # 0/1 index into _direction_order(phase)
+    quad_rank: np.ndarray  # QUADRANT_BATCH_RANK of the state's quadrant
+
+    @property
+    def n_states(self) -> int:
+        return int(self.n_holes.size)
+
+
+def _build_command_table(
+    outcome: PassOutcome,
+    frames: dict[Quadrant, QuadrantFrame],
+    phase: Phase,
+    scan_source: np.ndarray,
+    scan_limit: int | None,
+) -> tuple[_CommandTable | None, list]:
+    """Scan all quadrants and flatten the per-line commands into arrays.
+
+    Also returns the per-quadrant ``(frame, QuadrantScan)`` pairs so the
+    unguarded drain can apply each quadrant's net compaction directly.
+    """
+    axis = 0 if phase is Phase.ROW else 1
+    first_direction = _direction_order(phase)[0]
+    chunks: list[tuple] = []
+    scans: list = []
+    for quadrant in QUADRANT_ORDER:
+        frame = frames[quadrant]
+        scan = scan_quadrant(frame.extract(scan_source), axis, limit=scan_limit)
+        scans.append((frame, scan))
+        outcome.line_commands[quadrant] = scan.line_counts.tolist()
+        outcome.n_scanned_bits += scan.n_scanned_bits
+        outcome.n_commands += scan.n_commands
+        if not scan.n_commands:
+            continue
+        lines = np.nonzero(scan.line_counts)[0]
+        row_base, row_sign, col_base, col_sign = frame.affine
+        if phase is Phase.ROW:
+            line_full = row_base + row_sign * lines
+            span_base, span_sign = col_base, col_sign
+            inward = frame.horizontal_inward
+        else:
+            line_full = col_base + col_sign * lines
+            span_base, span_sign = row_base, row_sign
+            inward = frame.vertical_inward
+        n_states = lines.size
+        chunks.append(
+            (
+                scan.line_counts[lines],
+                scan.hole_positions,
+                line_full,
+                np.full(n_states, span_base),
+                np.full(n_states, span_sign),
+                np.full(n_states, scan.n_positions),
+                np.full(n_states, 0 if inward is first_direction else 1),
+                np.full(n_states, QUADRANT_BATCH_RANK[quadrant]),
+            )
+        )
+    if not chunks:
+        return None, scans
+    n_holes = np.concatenate([c[0] for c in chunks])
+    offsets = np.zeros(n_holes.size, dtype=np.intp)
+    np.cumsum(n_holes[:-1], out=offsets[1:])
+    # Busiest states first: offsets still point into the untouched
+    # holes_flat, so only the per-state columns are permuted.
+    by_depth = np.argsort(-n_holes, kind="stable")
+    table = _CommandTable(
+        n_holes=n_holes[by_depth],
+        offsets=offsets[by_depth],
+        holes_flat=np.concatenate([c[1] for c in chunks]),
+        line_full=np.concatenate([c[2] for c in chunks])[by_depth],
+        span_base=np.concatenate([c[3] for c in chunks])[by_depth],
+        span_sign=np.concatenate([c[4] for c in chunks])[by_depth],
+        n_positions=np.concatenate([c[5] for c in chunks])[by_depth],
+        dir_rank=np.concatenate([c[6] for c in chunks])[by_depth],
+        quad_rank=np.concatenate([c[7] for c in chunks])[by_depth],
+    )
+    return table, scans
+
+
+def _apply_net_compaction(grid: np.ndarray, frame, scan) -> None:
+    """Write one quadrant's post-pass occupancy directly into ``grid``.
+
+    An unguarded pass executes *every* scanned command of a line, so its
+    net effect is closed-form: each atom slides inward by the number of
+    command holes scanned below it (holes at or beyond the ``s_en``
+    limit issue no command and block nothing).  Equivalent to replaying
+    the emitted moves one by one — property-tested against exactly that.
+    """
+    local = scan.lines_view
+    consumed = np.zeros(local.shape, dtype=np.intp)
+    if scan.n_positions > 1:
+        holes_mask = np.zeros(local.shape, dtype=bool)
+        holes_mask[scan.hole_lines, scan.hole_positions] = True
+        np.cumsum(holes_mask[:, :-1], axis=1, out=consumed[:, 1:])
+    lines, positions = np.nonzero(local)
+    compacted = np.zeros_like(local)
+    compacted[lines, positions - consumed[lines, positions]] = True
+    if scan.axis == 1:
+        compacted = compacted.T
+    frame.insert(grid, compacted)
+
+
+def _apply_round_batch(
+    grid: np.ndarray,
+    horizontal: bool,
+    lines: np.ndarray,
+    span_start: np.ndarray,
+    span_stop: np.ndarray,
+    signs: np.ndarray,
+) -> None:
+    """Apply one round's suffix shifts to ``grid`` in a single scatter.
+
+    Shifts of one round touch pairwise-disjoint line segments (one
+    command per line per round, mirror quadrants own disjoint halves),
+    so every segment can gather-then-scatter simultaneously.  Each
+    segment advances one site into its hole, whose emptiness the
+    scan/guard semantics guarantee — re-checked here so a violated
+    invariant raises :class:`~repro.errors.MoveError` just like the
+    general executor would.
+    """
+    leading = np.where(signs > 0, span_stop, span_start - 1)
+    occupied = grid[lines, leading] if horizontal else grid[leading, lines]
+    if occupied.any():
+        bad = int(lines[np.nonzero(occupied)[0][0]])
+        raise MoveError(f"line {bad}: segment collides with a static atom")
+    lengths = span_stop - span_start
+    seg_start = np.zeros(lines.size, dtype=np.intp)
+    np.cumsum(lengths[:-1], out=seg_start[1:])
+    ramp = np.arange(int(lengths.sum())) - np.repeat(seg_start, lengths)
+    pos = np.repeat(span_start, lengths) + ramp
+    line_rep = np.repeat(lines, lengths)
+    shifted = pos + np.repeat(signs, lengths)
+    trailing = np.where(signs > 0, span_start, span_stop - 1)
+    if horizontal:
+        values = grid[line_rep, pos]
+        grid[line_rep, shifted] = values
+        grid[lines, trailing] = False
+    else:
+        values = grid[pos, line_rep]
+        grid[shifted, line_rep] = values
+        grid[trailing, lines] = False
+
+
+def _emit_round_groups(
+    outcome: PassOutcome,
+    phase: Phase,
+    merge_mirror: bool,
+    round_of: np.ndarray,
+    dir_rank: np.ndarray,
+    cur: np.ndarray,
+    quad_rank: np.ndarray,
+    line_full: np.ndarray,
+    span_start: np.ndarray,
+    span_stop: np.ndarray,
+) -> None:
+    """Order, group, and materialise the given commands as moves.
+
+    The arrays are parallel, one entry per command; the batch order is
+    (round, direction, :func:`batch_order_key`), with shifts inside one
+    batch ascending by full-array line.  Mirror-merged mode drops the
+    quadrant from the group identity, so mirror lines sharing a hole
+    fuse into one :class:`~repro.aod.move.ParallelMove`.  Grid
+    application is the caller's job (net compaction or round scatter).
+    """
+    n = cur.size
+    if not n:
+        return
+    directions = _direction_order(phase)
+    if merge_mirror:
+        order = np.lexsort((line_full, cur, dir_rank, round_of))
+        group_keys = (round_of, dir_rank, cur)
+    else:
+        order = np.lexsort((line_full, quad_rank, cur, dir_rank, round_of))
+        group_keys = (round_of, dir_rank, cur, quad_rank)
+    sorted_keys = [key[order] for key in group_keys]
+    boundary = np.zeros(n, dtype=bool)
+    boundary[0] = True
+    for key in sorted_keys:
+        boundary[1:] |= key[1:] != key[:-1]
+    starts = np.nonzero(boundary)[0]
+    ends = np.append(starts[1:], n)
+
+    # Bulk-convert to Python scalars once; per-element ndarray indexing
+    # in the group loop would dominate the pass otherwise.
+    round_s = sorted_keys[0].tolist()
+    dir_s = sorted_keys[1].tolist()
+    cur_s = sorted_keys[2].tolist()
+    quad_values = (
+        None
+        if merge_mirror
+        else [_RANK_TO_QUADRANT[r].value for r in sorted_keys[3].tolist()]
+    )
+    line_s = line_full[order].tolist()
+    start_s = span_start[order].tolist()
+    stop_s = span_stop[order].tolist()
+    phase_label = phase.value
+    make_shift = LineShift.trusted
+    make_move = ParallelMove.trusted
+    append_move = outcome.moves.append
+    for lo, hi in zip(starts.tolist(), ends.tolist()):
+        direction = directions[dir_s[lo]]
+        shifts = tuple(
+            [
+                make_shift(direction, line_s[i], start_s[i], stop_s[i])
+                for i in range(lo, hi)
+            ]
+        )
+        tag = f"{phase_label}-k{round_s[lo]}-h{cur_s[lo]}"
+        if quad_values is not None:
+            tag += f"-{quad_values[lo]}"
+        append_move(make_move(direction, 1, shifts, tag))
+        outcome.n_executed += hi - lo
+
+
+def run_pass(
+    array: AtomArray,
+    frames: dict[Quadrant, QuadrantFrame],
+    phase: Phase,
+    scan_source: np.ndarray,
+    merge_mirror: bool = True,
+    guard: bool = False,
+    scan_limit: int | None = None,
+) -> PassOutcome:
+    """Scan ``scan_source``, batch the commands, execute them on ``array``.
+
+    ``scan_source`` is the grid the scan reads — the live grid for a
+    fresh pass, or the iteration-start snapshot for the paper's pipelined
+    column pass.  ``guard=True`` enables the stale-command checks (hole
+    still empty, span still populated) against the live grid.
+    ``scan_limit`` forwards the ``s_en`` bound to the scans.
+
+    Vectorised implementation: emits exactly the schedule of
+    :func:`run_pass_reference` (bit-identical moves, tags, and order),
+    but drains whole rounds as NumPy arrays.  Without the guard the
+    entire drain order is statically known — every state consumes one
+    command per round, so command ``k`` of a line executes in round
+    ``k`` with ``k`` earlier shifts applied — and the full pass reduces
+    to one ``lexsort``.  With the guard, rounds are drained one at a
+    time so skips (which desynchronise the per-line executed counts)
+    read the live grid exactly as the reference does.
+    """
+    outcome = PassOutcome(phase=phase)
+    table, scans = _build_command_table(
+        outcome, frames, phase, scan_source, scan_limit
+    )
+    if table is None:
+        return outcome
+    grid = array.grid
+    horizontal = phase is Phase.ROW
+
+    if not guard:
+        # Static drain: command k of every state runs in round k with
+        # executed == k, so cur/spans for the whole pass come from one
+        # sweep of flat array arithmetic, and the grid jumps straight to
+        # each quadrant's net compaction.
+        state_of = np.repeat(np.arange(table.n_states), table.n_holes)
+        first_of = np.zeros(table.n_states, dtype=np.intp)
+        np.cumsum(table.n_holes[:-1], out=first_of[1:])
+        round_of = np.arange(state_of.size) - first_of[state_of]
+        cur = table.holes_flat[table.offsets[state_of] + round_of] - round_of
+        span_base = table.span_base[state_of]
+        span_sign = table.span_sign[state_of]
+        a = span_base + span_sign * (cur + 1)
+        b = span_base + span_sign * (table.n_positions[state_of] - round_of - 1)
+        _emit_round_groups(
+            outcome, phase, merge_mirror,
+            round_of=round_of,
+            dir_rank=table.dir_rank[state_of],
+            cur=cur,
+            quad_rank=table.quad_rank[state_of],
+            line_full=table.line_full[state_of],
+            span_start=np.minimum(a, b),
+            span_stop=np.maximum(a, b) + 1,
+        )
+        for frame, scan in scans:
+            if scan.n_commands:
+                _apply_net_compaction(grid, frame, scan)
+        return outcome
+
+    # Guarded drain: skips advance a state's command stream without
+    # counting as executed shifts, so rounds are processed one at a time
+    # against the live grid.  Surviving commands are stashed and
+    # materialised as moves in one batch after the drain — the emit
+    # order (round, direction, batch key) is the same either way.
+    executed = np.zeros(table.n_states, dtype=np.intp)
+    survivors: list[tuple] = []
+    depth_desc = -table.n_holes  # ascending, for the prefix search
+    for round_index in range(int(table.n_holes[0])):
+        # States with more than round_index commands form a prefix of
+        # the depth-sorted table.
+        m = int(np.searchsorted(depth_desc, -round_index, side="left"))
+        cur = (
+            table.holes_flat[table.offsets[:m] + round_index] - executed[:m]
+        )
+
+        # Stale commands: the hole was filled by an earlier move.
+        span_coord = table.span_base[:m] + table.span_sign[:m] * cur
+        if horizontal:
+            stale = grid[table.line_full[:m], span_coord]
+        else:
+            stale = grid[span_coord, table.line_full[:m]]
+        keep = np.nonzero(~stale)[0]
+        outcome.n_skipped_stale += m - keep.size
+        cur = cur[keep]
+
+        # Empty commands: no atom left in the span to pull inward.
+        local_lo = cur + 1
+        local_hi = table.n_positions[keep] - executed[keep]
+        empty = local_lo >= local_hi
+        populated = np.nonzero(~empty)[0]
+        if populated.size:
+            sub = keep[populated]
+            sign = table.span_sign[sub]
+            a = table.span_base[sub] + sign * local_lo[populated]
+            b = table.span_base[sub] + sign * (local_hi[populated] - 1)
+            lo = np.minimum(a, b)
+            hi = np.maximum(a, b)
+            if horizontal:
+                prefix = np.zeros((grid.shape[0], grid.shape[1] + 1), dtype=np.intp)
+                np.cumsum(grid, axis=1, out=prefix[:, 1:])
+                counts = (
+                    prefix[table.line_full[sub], hi + 1]
+                    - prefix[table.line_full[sub], lo]
+                )
+            else:
+                prefix = np.zeros((grid.shape[0] + 1, grid.shape[1]), dtype=np.intp)
+                np.cumsum(grid, axis=0, out=prefix[1:, :])
+                counts = (
+                    prefix[hi + 1, table.line_full[sub]]
+                    - prefix[lo, table.line_full[sub]]
+                )
+            empty[populated] = counts == 0
+        outcome.n_skipped_empty += int(np.count_nonzero(empty))
+        alive = keep[~empty]
+        cur = cur[~empty]
+        if not alive.size:
+            continue
+
+        sign = table.span_sign[alive]
+        a = table.span_base[alive] + sign * (cur + 1)
+        b = table.span_base[alive] + sign * (
+            table.n_positions[alive] - executed[alive] - 1
+        )
+        span_start = np.minimum(a, b)
+        span_stop = np.maximum(a, b) + 1
+        survivors.append(
+            (
+                np.full(alive.size, round_index),
+                table.dir_rank[alive],
+                cur,
+                table.quad_rank[alive],
+                table.line_full[alive],
+                span_start,
+                span_stop,
+            )
+        )
+        _apply_round_batch(
+            grid,
+            horizontal,
+            lines=table.line_full[alive],
+            span_start=span_start,
+            span_stop=span_stop,
+            signs=1 - 2 * table.dir_rank[alive],
+        )
+        executed[alive] += 1
+
+    if survivors:
+        columns = [np.concatenate(parts) for parts in zip(*survivors)]
+        _emit_round_groups(
+            outcome, phase, merge_mirror,
+            round_of=columns[0],
+            dir_rank=columns[1],
+            cur=columns[2],
+            quad_rank=columns[3],
+            line_full=columns[4],
+            span_start=columns[5],
+            span_stop=columns[6],
+        )
     return outcome

@@ -22,17 +22,28 @@ target defects with individual atom moves; see :mod:`repro.core.repair`.
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 from repro.aod.schedule import MoveSchedule
 from repro.config import DEFAULT_QRM_PARAMETERS, QrmParameters, ScanMode
-from repro.core.passes import Phase, run_pass
+from repro.core.passes import Phase, PassOutcome, run_pass
 from repro.core.result import IterationStats, RearrangementResult
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import ArrayGeometry, Quadrant
 
+#: Signature of a pass implementation (run_pass / run_pass_reference).
+PassRunner = Callable[..., PassOutcome]
+
 
 class QrmScheduler:
-    """Compute a rearrangement schedule with the quadrant method."""
+    """Compute a rearrangement schedule with the quadrant method.
+
+    ``pass_runner`` selects the pass implementation: the vectorised
+    :func:`~repro.core.passes.run_pass` by default, or
+    :func:`~repro.core.passes.run_pass_reference` for the per-command
+    oracle — the perf benchmark and the bit-identity property tests run
+    both and compare.
+    """
 
     name = "qrm"
 
@@ -40,9 +51,11 @@ class QrmScheduler:
         self,
         geometry: ArrayGeometry,
         params: QrmParameters = DEFAULT_QRM_PARAMETERS,
+        pass_runner: PassRunner = run_pass,
     ):
         self.geometry = geometry
         self.params = params
+        self.pass_runner = pass_runner
         self.frames = {
             q: geometry.quadrant_frame(q) for q in Quadrant
         }
@@ -65,7 +78,7 @@ class QrmScheduler:
         for index in range(self.params.n_iterations):
             snapshot = live.grid.copy() if pipelined else None
 
-            row_outcome = run_pass(
+            row_outcome = self.pass_runner(
                 live,
                 self.frames,
                 Phase.ROW,
@@ -75,7 +88,7 @@ class QrmScheduler:
                 scan_limit=self.params.scan_limit,
             )
             col_source = snapshot if pipelined else live.grid
-            col_outcome = run_pass(
+            col_outcome = self.pass_runner(
                 live,
                 self.frames,
                 Phase.COLUMN,

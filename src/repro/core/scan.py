@@ -15,18 +15,21 @@ outboard of it moves one step inward.  Executing all commands of a line
 fully compacts it toward index 0.
 
 These functions are the single source of truth for the scan semantics:
-the pure-Python scheduler calls them directly and the FPGA bit-level
-shift-kernel model is unit-tested against them.
+:func:`scan_line` is the per-line reference the FPGA bit-level
+shift-kernel model is unit-tested against, and :func:`scan_quadrant`
+is the batched whole-quadrant formulation the scheduler hot path uses —
+the two are property-tested equivalent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import functools
+from dataclasses import dataclass, field
 
 import numpy as np
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class LineScanResult:
     """Scan output for one quadrant-local line.
 
@@ -34,16 +37,28 @@ class LineScanResult:
     ascending.  ``bits_before`` is the occupancy snapshot streamed to the
     transpose buffers (Fig. 6 shows the pre-shift bits flowing into the
     column buffers).
+
+    Both are backed by ndarrays (``holes``/``bits``) and materialised as
+    tuples lazily, so the scheduler hot path never pays for the Python
+    object conversion it does not read.
     """
 
     line: int
-    hole_positions: tuple[int, ...]
-    bits_before: tuple[bool, ...]
-    n_atoms: int
+    holes: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.intp))
+    bits: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    n_atoms: int = 0
+
+    @functools.cached_property
+    def hole_positions(self) -> tuple[int, ...]:
+        return tuple(int(h) for h in self.holes)
+
+    @functools.cached_property
+    def bits_before(self) -> tuple[bool, ...]:
+        return tuple(bool(b) for b in self.bits)
 
     @property
     def n_commands(self) -> int:
-        return len(self.hole_positions)
+        return int(self.holes.size)
 
 
 def scan_line(
@@ -61,7 +76,7 @@ def scan_line(
     occ = np.asarray(bits, dtype=bool)
     n = occ.size
     if n == 0:
-        return LineScanResult(line, (), (), 0)
+        return LineScanResult(line)
     # atoms_outboard[j] is True when any site > j holds an atom
     suffix_counts = np.cumsum(occ[::-1])[::-1]
     atoms_outboard = np.zeros(n, dtype=bool)
@@ -71,9 +86,96 @@ def scan_line(
         holes = holes[holes < limit]
     return LineScanResult(
         line=line,
-        hole_positions=tuple(int(h) for h in holes),
-        bits_before=tuple(bool(b) for b in occ),
+        holes=holes,
+        bits=occ,
         n_atoms=int(occ.sum()),
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class QuadrantScan:
+    """Batched scan of every line of one quadrant-local grid.
+
+    ``hole_lines``/``hole_positions`` are parallel flat arrays holding
+    every command of the quadrant in scan order: line-major, positions
+    strictly ascending within a line (exactly the concatenation of the
+    per-line :func:`scan_line` outputs).  ``line_counts[u]`` is the
+    command count of line ``u`` — zero-command lines are represented, so
+    callers can account for pipeline occupancy.
+    """
+
+    axis: int
+    n_lines: int
+    n_positions: int
+    hole_lines: np.ndarray
+    hole_positions: np.ndarray
+    line_counts: np.ndarray
+    lines_view: np.ndarray  # occupancy, shape (n_lines, n_positions)
+
+    @property
+    def n_commands(self) -> int:
+        return int(self.hole_positions.size)
+
+    @property
+    def n_scanned_bits(self) -> int:
+        return self.n_lines * self.n_positions
+
+    def holes_of_line(self, line: int) -> np.ndarray:
+        """The ascending hole positions of one line."""
+        start = int(self.line_counts[:line].sum())
+        return self.hole_positions[start : start + int(self.line_counts[line])]
+
+    def results(self) -> list[LineScanResult]:
+        """Per-line :class:`LineScanResult` bridge (lazy tuples)."""
+        splits = np.split(self.hole_positions, np.cumsum(self.line_counts)[:-1])
+        atoms = self.lines_view.sum(axis=1)
+        return [
+            LineScanResult(
+                line=u,
+                holes=splits[u],
+                bits=self.lines_view[u],
+                n_atoms=int(atoms[u]),
+            )
+            for u in range(self.n_lines)
+        ]
+
+
+def scan_quadrant(
+    local_grid: np.ndarray, axis: int, limit: int | None = None
+) -> QuadrantScan:
+    """Scan every line of a quadrant-local grid along ``axis``, batched.
+
+    Semantically identical to per-line :func:`scan_line` over the grid
+    (property-tested), but computes all lines' hole positions with one
+    2-D cumulative sum and one ``nonzero`` instead of ``n_lines``
+    separate scans.  ``axis=0`` scans rows (lines indexed by ``u``,
+    positions along ``v``); ``axis=1`` scans columns.  ``limit`` is the
+    per-line ``s_en`` scan bound, see :func:`scan_line`.
+    """
+    grid = np.asarray(local_grid, dtype=bool)
+    if axis == 1:
+        grid = np.ascontiguousarray(grid.T)
+    elif axis != 0:
+        raise ValueError(f"axis must be 0 or 1, got {axis}")
+    n_lines, n_positions = grid.shape
+    # atoms_outboard[u, j] is True when any site of line u beyond j holds
+    # an atom; a hole is an empty site with something outboard of it.
+    outboard = np.zeros_like(grid)
+    if n_positions:
+        suffix_counts = np.cumsum(grid[:, ::-1], axis=1)[:, ::-1]
+        outboard[:, :-1] = suffix_counts[:, 1:] > 0
+    holes_mask = ~grid & outboard
+    if limit is not None:
+        holes_mask[:, max(0, limit) :] = False
+    hole_lines, hole_positions = np.nonzero(holes_mask)
+    return QuadrantScan(
+        axis=axis,
+        n_lines=n_lines,
+        n_positions=n_positions,
+        hole_lines=hole_lines,
+        hole_positions=hole_positions,
+        line_counts=np.bincount(hole_lines, minlength=n_lines),
+        lines_view=grid,
     )
 
 
@@ -88,18 +190,7 @@ def scan_axis(
     can account for pipeline occupancy.  ``limit`` is the per-line
     ``s_en`` scan bound, see :func:`scan_line`.
     """
-    grid = np.asarray(local_grid, dtype=bool)
-    if axis == 0:
-        return [
-            scan_line(grid[u, :], line=u, limit=limit)
-            for u in range(grid.shape[0])
-        ]
-    if axis == 1:
-        return [
-            scan_line(grid[:, v], line=v, limit=limit)
-            for v in range(grid.shape[1])
-        ]
-    raise ValueError(f"axis must be 0 or 1, got {axis}")
+    return scan_quadrant(local_grid, axis, limit=limit).results()
 
 
 def compact_line(bits: np.ndarray) -> np.ndarray:

@@ -12,6 +12,7 @@ shift-kernel schedule serve all four quadrants (paper Fig. 4).
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -179,11 +180,25 @@ class QuadrantFrame:
     flip_rows: bool
     flip_cols: bool
 
+    @functools.cached_property
+    def affine(self) -> tuple[int, int, int, int]:
+        """The frame transform as ``(row_base, row_sign, col_base, col_sign)``.
+
+        ``to_full(u, v) == (row_base + row_sign * u, col_base + col_sign * v)``
+        for every local coordinate, so hot paths can map whole batches of
+        coordinates with plain int (or NumPy array) arithmetic instead of
+        one :meth:`to_full` call per site.
+        """
+        row_sign = -1 if self.flip_rows else 1
+        col_sign = -1 if self.flip_cols else 1
+        row_base = self.row0 + (self.n_rows - 1 if self.flip_rows else 0)
+        col_base = self.col0 + (self.n_cols - 1 if self.flip_cols else 0)
+        return row_base, row_sign, col_base, col_sign
+
     def to_full(self, u: int, v: int) -> tuple[int, int]:
         """Convert local ``(u, v)`` to full-array ``(row, col)``."""
-        row = self.row0 + (self.n_rows - 1 - u if self.flip_rows else u)
-        col = self.col0 + (self.n_cols - 1 - v if self.flip_cols else v)
-        return row, col
+        row_base, row_sign, col_base, col_sign = self.affine
+        return row_base + row_sign * u, col_base + col_sign * v
 
     def to_local(self, row: int, col: int) -> tuple[int, int]:
         """Convert full-array ``(row, col)`` to local ``(u, v)``."""

@@ -12,6 +12,7 @@ from repro.campaign import (
     ExperimentCampaign,
     LossSpec,
     MultiprocessingExecutor,
+    QrmSpec,
     RecordingObserver,
     ScenarioCell,
     SerialExecutor,
@@ -301,6 +302,61 @@ class TestAggregation:
         path = result.write_csv(tmp_path / "sub" / "out.csv")
         assert path.exists()
         assert "qrm" in path.read_text()
+
+    def test_stats_columns_expand_summaries(self):
+        result = run_campaign(small_spec(algorithms=("qrm",), n_seeds=3))
+        table = result.format_table(stats=True)
+        assert "moves_std" in table
+        assert "moves_min" in table
+        assert "moves_max" in table
+        headers = result.to_csv(stats=True).splitlines()[0].split(",")
+        aggregate = result.aggregates[0]
+        row = result.to_csv(stats=True).splitlines()[1].split(",")
+        summary = aggregate.metrics["moves"]
+        index = headers.index("moves_min")
+        assert float(row[index]) == summary.minimum
+        assert headers.index("moves_max") == index + 1
+
+
+class TestQrmSpecCells:
+    def test_round_trip_and_label(self):
+        qrm = QrmSpec(scan_mode="fresh", merge_mirror_quadrants=False, scan_limit=4)
+        cell = ScenarioCell(size=10, qrm=qrm)
+        restored = ScenarioCell.from_dict(json.loads(json.dumps(cell.to_dict())))
+        assert restored == cell
+        assert "fresh+split+s_en=4" in cell.label()
+
+    def test_qrm_override_requires_qrm_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioCell(algorithm="tetris", size=10, qrm=QrmSpec())
+
+    def test_parameter_override_changes_results(self):
+        base = ScenarioCell(algorithm="qrm", size=10, fill=0.5)
+        fresh = ScenarioCell(
+            algorithm="qrm",
+            size=10,
+            fill=0.5,
+            qrm=QrmSpec(scan_mode="fresh", n_iterations=2),
+        )
+        spec = CampaignSpec(
+            name="qrm-variants",
+            algorithms=(),
+            sizes=(),
+            n_seeds=2,
+            extra_cells=(base, fresh),
+        )
+        result = run_campaign(spec)
+        pipelined = result.aggregate_for(qrm=None)
+        override = result.aggregate_for(qrm=fresh.qrm)
+        # The fresh column pass reaches the fixpoint in fewer iterations
+        # and produces no stale skips.
+        assert override.mean("iterations") <= pipelined.mean("iterations")
+        assert override.mean("skipped_stale") == 0.0
+        assert pipelined.mean("skipped_stale") > 0.0
+
+    def test_skipped_stale_metric_present(self):
+        result = run_campaign(small_spec(algorithms=("qrm",), n_seeds=1))
+        assert "skipped_stale" in result.aggregates[0].metrics
 
 
 class TestSeedSequenceContract:

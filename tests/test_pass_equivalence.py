@@ -1,0 +1,216 @@
+"""Bit-identity of the vectorised pass against its reference oracles.
+
+The vectorised :func:`repro.core.passes.run_pass` must emit exactly the
+schedule of the per-command :func:`run_pass_reference` (and of the
+pinned pre-vectorization seed implementation): same moves, same tags,
+same order, same statistics, same final grid.  These tests enforce that
+for single passes and end-to-end schedules across scan modes, mirror
+merging, and the ``s_en`` bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.seed_baseline import seed_run_pass
+from repro.config import QrmParameters, ScanMode
+from repro.core.passes import (
+    QUADRANT_ORDER,
+    Phase,
+    batch_order_key,
+    run_pass,
+    run_pass_reference,
+)
+from repro.core.qrm import QrmScheduler
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import ArrayGeometry, Direction, Quadrant
+from repro.lattice.loading import load_uniform
+
+
+def _frames(geometry):
+    return {q: geometry.quadrant_frame(q) for q in Quadrant}
+
+
+def assert_moves_identical(ours, reference):
+    __tracebackhint__ = True
+    assert len(ours) == len(reference)
+    for index, (move, expected) in enumerate(zip(ours, reference)):
+        assert move == expected, f"move {index} differs"
+        assert move.tag == expected.tag, f"move {index} tag differs"
+
+
+def assert_outcomes_identical(ours, reference):
+    assert_moves_identical(ours.moves, reference.moves)
+    assert ours.n_commands == reference.n_commands
+    assert ours.n_executed == reference.n_executed
+    assert ours.n_skipped_stale == reference.n_skipped_stale
+    assert ours.n_skipped_empty == reference.n_skipped_empty
+    assert ours.n_scanned_bits == reference.n_scanned_bits
+    assert ours.line_commands == reference.line_commands
+
+
+PASS_RUNNERS = {"reference": run_pass_reference, "seed": seed_run_pass}
+
+
+class TestSinglePassEquivalence:
+    @pytest.mark.parametrize("oracle", sorted(PASS_RUNNERS))
+    @pytest.mark.parametrize("phase", [Phase.ROW, Phase.COLUMN])
+    @pytest.mark.parametrize("merge", [True, False])
+    @pytest.mark.parametrize("limit", [None, 3])
+    def test_fresh_pass(self, oracle, phase, merge, limit, rng):
+        geometry = ArrayGeometry.square(12, 8)
+        for _ in range(10):
+            grid = rng.random(geometry.shape) < rng.uniform(0.1, 0.9)
+            ours = AtomArray(geometry, grid.copy())
+            theirs = AtomArray(geometry, grid.copy())
+            outcome = run_pass(
+                ours, _frames(geometry), phase, scan_source=ours.grid,
+                merge_mirror=merge, scan_limit=limit,
+            )
+            expected = PASS_RUNNERS[oracle](
+                theirs, _frames(geometry), phase, scan_source=theirs.grid,
+                merge_mirror=merge, scan_limit=limit,
+            )
+            assert_outcomes_identical(outcome, expected)
+            assert np.array_equal(ours.grid, theirs.grid)
+
+    @pytest.mark.parametrize("oracle", sorted(PASS_RUNNERS))
+    @pytest.mark.parametrize("merge", [True, False])
+    def test_guarded_column_pass_on_stale_snapshot(self, oracle, merge, rng):
+        # The paper's pipelined mode: scan an iteration-start snapshot,
+        # execute against a live grid the row pass already changed.
+        geometry = ArrayGeometry.square(12, 8)
+        for _ in range(10):
+            grid = rng.random(geometry.shape) < 0.5
+            snapshot = grid.copy()
+            ours = AtomArray(geometry, grid.copy())
+            theirs = AtomArray(geometry, grid.copy())
+            run_pass(
+                ours, _frames(geometry), Phase.ROW, scan_source=ours.grid,
+                merge_mirror=merge,
+            )
+            PASS_RUNNERS[oracle](
+                theirs, _frames(geometry), Phase.ROW, scan_source=theirs.grid,
+                merge_mirror=merge,
+            )
+            outcome = run_pass(
+                ours, _frames(geometry), Phase.COLUMN, scan_source=snapshot,
+                merge_mirror=merge, guard=True,
+            )
+            expected = PASS_RUNNERS[oracle](
+                theirs, _frames(geometry), Phase.COLUMN,
+                scan_source=snapshot.copy(), merge_mirror=merge, guard=True,
+            )
+            assert_outcomes_identical(outcome, expected)
+            assert np.array_equal(ours.grid, theirs.grid)
+
+
+class TestEndToEndScheduleIdentity:
+    @pytest.mark.parametrize("oracle", sorted(PASS_RUNNERS))
+    @pytest.mark.parametrize(
+        "params",
+        [
+            QrmParameters(),
+            QrmParameters(scan_mode=ScanMode.FRESH),
+            QrmParameters(merge_mirror_quadrants=False),
+            QrmParameters(scan_limit=3),
+            QrmParameters(scan_mode=ScanMode.FRESH, merge_mirror_quadrants=False),
+        ],
+        ids=["pipelined", "fresh", "split", "s_en", "fresh-split"],
+    )
+    def test_schedules_bit_identical(self, oracle, params, rng):
+        for size in (8, 12, 20):
+            geometry = ArrayGeometry.square(size)
+            array = load_uniform(
+                geometry, float(rng.uniform(0.2, 0.8)),
+                rng=int(rng.integers(1 << 31)),
+            )
+            ours = QrmScheduler(geometry, params).schedule(array)
+            expected = QrmScheduler(
+                geometry, params, pass_runner=PASS_RUNNERS[oracle]
+            ).schedule(array)
+            assert_moves_identical(list(ours.schedule), list(expected.schedule))
+            assert np.array_equal(ours.final.grid, expected.final.grid)
+            assert ours.iterations == expected.iterations
+            assert ours.converged == expected.converged
+            assert ours.analysis_ops == expected.analysis_ops
+
+
+class TestBatchOrdering:
+    """Regression tests for the explicit round-batch ordering."""
+
+    def test_batch_order_key_holes_then_quadrant(self):
+        keys = [
+            batch_order_key(2, Quadrant.SW),
+            batch_order_key(2, Quadrant.NE),
+            batch_order_key(0, Quadrant.SE),
+            batch_order_key(0, Quadrant.NW),
+        ]
+        assert sorted(keys) == [
+            batch_order_key(0, Quadrant.NW),
+            batch_order_key(0, Quadrant.SE),
+            batch_order_key(2, Quadrant.NE),
+            batch_order_key(2, Quadrant.SW),
+        ]
+
+    def test_merged_batch_unifies_mirror_quadrants(self):
+        # The same local pattern in all four quadrants: with mirror
+        # merging one move per direction per round; without, one move
+        # per quadrant, ordered by the documented quadrant rank.
+        geometry = ArrayGeometry.square(8, 4)
+        grid = np.zeros(geometry.shape, dtype=bool)
+        grid[[0, 0, 7, 7], [0, 7, 0, 7]] = True  # outermost corners
+        merged = run_pass(
+            AtomArray(geometry, grid.copy()), _frames(geometry), Phase.ROW,
+            scan_source=grid.copy(), merge_mirror=True,
+        )
+        # Two moves per round — one per direction, each fusing the two
+        # mirror quadrants of that side (EAST flushes before WEST).
+        assert [m.tag for m in merged.moves] == [
+            "row-k0-h0", "row-k0-h0",
+            "row-k1-h0", "row-k1-h0",
+            "row-k2-h0", "row-k2-h0",
+        ]
+        assert [m.direction for m in merged.moves] == [
+            Direction.EAST, Direction.WEST,
+        ] * 3
+        assert all(len(move) == 2 for move in merged.moves)
+
+    def test_unmerged_batches_follow_quadrant_rank(self):
+        geometry = ArrayGeometry.square(8, 4)
+        grid = np.zeros(geometry.shape, dtype=bool)
+        grid[[0, 0, 7, 7], [0, 7, 0, 7]] = True
+        split = run_pass(
+            AtomArray(geometry, grid.copy()), _frames(geometry), Phase.ROW,
+            scan_source=grid.copy(), merge_mirror=False,
+        )
+        assert all(len(move) == 1 for move in split.moves)
+        # Per round: EAST batches (west quadrants) first, NW before SW,
+        # then WEST batches with NE before SE — i.e. batch_order_key.
+        assert [m.tag for m in split.moves[:4]] == [
+            "row-k0-h0-NW", "row-k0-h0-SW",
+            "row-k0-h0-NE", "row-k0-h0-SE",
+        ]
+
+    def test_merge_toggle_same_physical_outcome(self, geo20, rng):
+        grid = rng.random(geo20.shape) < 0.5
+        merged_array = AtomArray(geo20, grid.copy())
+        split_array = AtomArray(geo20, grid.copy())
+        merged = run_pass(
+            merged_array, _frames(geo20), Phase.ROW,
+            scan_source=merged_array.grid, merge_mirror=True,
+        )
+        split = run_pass(
+            split_array, _frames(geo20), Phase.ROW,
+            scan_source=split_array.grid, merge_mirror=False,
+        )
+        assert merged.n_executed == split.n_executed
+        assert merged.n_batches <= split.n_batches
+        assert np.array_equal(merged_array.grid, split_array.grid)
+
+
+def test_quadrant_order_unchanged():
+    assert QUADRANT_ORDER == (
+        Quadrant.NW, Quadrant.NE, Quadrant.SW, Quadrant.SE,
+    )
