@@ -8,8 +8,8 @@ Runs the ``repro bench`` engine in smoke mode (CI-sized grid) and writes
 the smoke artefact fresh without minutes of CI time.
 
 Also asserts the provenance claim behind the speedup numbers: the
-pinned seed implementation, the live reference oracle, and the
-vectorised scheduler emit bit-identical schedules.
+pinned seed implementation, the live reference oracles, and the
+vectorised schedulers emit bit-identical schedules.
 """
 
 from __future__ import annotations
@@ -18,7 +18,12 @@ import json
 
 import numpy as np
 
-from repro.analysis.perf import measure_qrm_speedup, run_perf_suite
+from repro.analysis.perf import (
+    COMPONENT_NAMES,
+    measure_qrm_speedup,
+    run_perf_suite,
+    validate_bench_report,
+)
 from repro.analysis.seed_baseline import seed_run_pass
 from repro.core.passes import run_pass_reference
 from repro.core.qrm import QrmScheduler
@@ -38,7 +43,7 @@ def test_bench_perf_smoke(seed_base, results_dir, emit):
     emit("BENCH_perf_smoke", report.format_table())
     path = report.write_json(results_dir / "BENCH_qrm_smoke.json")
     payload = json.loads(path.read_text())
-    assert payload["schema_version"] >= 1
+    validate_bench_report(payload)
     assert len(payload["entries"]) == 4
     for entry in payload["entries"]:
         assert entry["wall_ms"]["min"] <= entry["wall_ms"]["mean"]
@@ -47,6 +52,11 @@ def test_bench_perf_smoke(seed_base, results_dir, emit):
     speedup = payload["speedup"]
     assert speedup["speedup_vs_seed"] > 0
     assert speedup["speedup_vs_reference"] > 0
+    components = payload["component_speedups"]
+    assert set(components) == set(COMPONENT_NAMES)
+    for block in components.values():
+        assert block["vectorized_ms"]["mean"] > 0
+        assert block["speedup_vs_reference"] > 0
 
 
 def test_speedup_block_shape(seed_base):
@@ -55,6 +65,36 @@ def test_speedup_block_shape(seed_base):
         "vectorized_ms", "reference_ms", "seed_ms",
         "speedup_vs_seed", "speedup_vs_reference",
     }
+
+
+def test_component_oracles_match_vectorized_paths(seed_base):
+    # The "before" implementations the component blocks time must emit
+    # the identical schedules, or their speedup numbers are meaningless.
+    from repro.baselines.psca import PscaScheduler, PscaSchedulerReference
+    from repro.baselines.tetris import TetrisScheduler, TetrisSchedulerReference
+    from repro.core.repair import repair_defects, repair_defects_reference
+
+    geometry = ArrayGeometry.square(16)
+    array = load_uniform(geometry, 0.5, rng=seed_base)
+    for fast, slow in (
+        (TetrisScheduler, TetrisSchedulerReference),
+        (PscaScheduler, PscaSchedulerReference),
+    ):
+        ours = fast(geometry).schedule(array)
+        theirs = slow(geometry).schedule(array)
+        assert len(ours.schedule) == len(theirs.schedule)
+        for mine, other in zip(ours.schedule, theirs.schedule):
+            assert mine == other and mine.tag == other.tag
+        assert np.array_equal(ours.final.grid, theirs.final.grid)
+
+    compacted = QrmScheduler(geometry).schedule(array).final
+    fast_array, slow_array = compacted.copy(), compacted.copy()
+    fast_outcome = repair_defects(fast_array)
+    slow_outcome = repair_defects_reference(slow_array)
+    assert len(fast_outcome.moves) == len(slow_outcome.moves)
+    for mine, other in zip(fast_outcome.moves, slow_outcome.moves):
+        assert mine == other and mine.tag == other.tag
+    assert np.array_equal(fast_array.grid, slow_array.grid)
 
 
 def test_seed_baseline_schedules_match_live_paths(seed_base):

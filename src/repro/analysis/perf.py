@@ -7,12 +7,16 @@ schedule construction for QRM and the published baselines over a grid of
 array sizes and fill fractions, and writes a machine-readable
 ``BENCH_qrm.json`` with mean/std/min/max per case.
 
-The report also carries a *speedup* block for the QRM hot path: the
+The report also carries a *speedup* block for the QRM hot path — the
 vectorised scheduler vs. the live per-command reference oracle
 (:func:`repro.core.passes.run_pass_reference`) and vs. the pinned
 pre-vectorization seed implementation
-(:mod:`repro.analysis.seed_baseline`), so both the "before" and "after"
-numbers of the vectorisation live in the same file.
+(:mod:`repro.analysis.seed_baseline`) — plus one *component speedup*
+entry per additionally vectorised stage (repair, Tetris, PSCA), each
+timed against its live ``*_reference`` oracle.  Both the "before" and
+"after" numbers of every vectorisation live in the same file, and
+:func:`validate_bench_report` pins the JSON layout so the artefact
+cannot silently drift.
 
 Timings are wall-clock and therefore machine- and run-dependent; the
 JSON is a report, not a regression gate.  Everything else (trial seeds,
@@ -38,7 +42,10 @@ from repro.lattice.geometry import ArrayGeometry
 from repro.lattice.loading import load_uniform
 
 #: Bump when the JSON layout changes.
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
+
+#: Components with a live vectorised-vs-reference speedup measurement.
+COMPONENT_NAMES = ("repair", "tetris", "psca")
 
 DEFAULT_SIZES = (32, 64, 128)
 DEFAULT_FILLS = (0.3, 0.5, 0.7)
@@ -100,6 +107,7 @@ class PerfReport:
     records: list[BenchRecord] = field(default_factory=list)
     skipped: list[dict] = field(default_factory=list)
     speedup: dict | None = None
+    component_speedups: dict[str, dict] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -114,6 +122,7 @@ class PerfReport:
             "entries": [record.to_dict() for record in self.records],
             "skipped": self.skipped,
             "speedup": self.speedup,
+            "component_speedups": self.component_speedups,
         }
 
     def write_json(self, path: str | Path) -> Path:
@@ -155,6 +164,13 @@ class PerfReport:
                 f"reference {s['reference_ms']['mean']:.2f} ms, "
                 f"seed (pre-PR) {s['seed_ms']['mean']:.2f} ms -> "
                 f"{s['speedup_vs_seed']:.1f}x vs seed, "
+                f"{s['speedup_vs_reference']:.1f}x vs reference"
+            )
+        for name, s in self.component_speedups.items():
+            parts.append(
+                f"{name} {s['size']}x{s['size']}: "
+                f"vectorized {s['vectorized_ms']['mean']:.2f} ms, "
+                f"reference {s['reference_ms']['mean']:.2f} ms -> "
                 f"{s['speedup_vs_reference']:.1f}x vs reference"
             )
         return "\n".join(parts)
@@ -223,6 +239,124 @@ def measure_qrm_speedup(
     }
 
 
+def _speedup_block(
+    size: int, fill: float, timings: dict[str, Summary]
+) -> dict:
+    """JSON shape shared by every vectorised-vs-reference measurement."""
+    return {
+        "size": size,
+        "fill": fill,
+        "trials": timings["vectorized"].n,
+        "vectorized_ms": summary_dict(timings["vectorized"]),
+        "reference_ms": summary_dict(timings["reference"]),
+        "speedup_vs_reference": (
+            timings["reference"].mean / timings["vectorized"].mean
+        ),
+    }
+
+
+def _interleaved_timings(
+    trials: int,
+    make_input: Callable[[int], object],
+    vectorized: Callable[[object], object],
+    reference: Callable[[object], object],
+) -> dict[str, Summary]:
+    """Time both implementations per trial, vectorised first.
+
+    Interleaving the pair inside each trial makes the speedup ratio
+    robust to slow machine-load drift across the measurement window —
+    back-to-back blocks would charge the drift to whichever side ran
+    second.
+    """
+    vec_ms: list[float] = []
+    ref_ms: list[float] = []
+    for index in range(trials):
+        trial_input = make_input(index)
+        for stage, wall_ms in ((vectorized, vec_ms), (reference, ref_ms)):
+            start = time.perf_counter()
+            stage(trial_input)
+            wall_ms.append((time.perf_counter() - start) * 1e3)
+    return {"vectorized": Summary.of(vec_ms), "reference": Summary.of(ref_ms)}
+
+
+def measure_repair_speedup(
+    size: int = 64,
+    fill: float = 0.5,
+    trials: int = 3,
+    master_seed: int = 0,
+) -> dict:
+    """Time the repair stage under both implementations.
+
+    Repair runs on realistic inputs: each trial's array is first
+    compacted by QRM, so the timed defect pattern is the post-compaction
+    residue the stage exists for.  Both implementations repair copies of
+    the same arrays (repair mutates in place).
+    """
+    from repro.core.qrm import QrmScheduler
+    from repro.core.repair import repair_defects, repair_defects_reference
+
+    geometry = ArrayGeometry.square(size)
+    scheduler = QrmScheduler(geometry)
+    timings = _interleaved_timings(
+        trials,
+        lambda index: scheduler.schedule(
+            load_uniform(geometry, fill, rng=master_seed + index)
+        ).final,
+        # Repair mutates in place, so each implementation gets a copy.
+        lambda array: repair_defects(array.copy()),
+        lambda array: repair_defects_reference(array.copy()),
+    )
+    return _speedup_block(size, fill, timings)
+
+
+def measure_baseline_speedup(
+    component: str,
+    size: int = 64,
+    fill: float = 0.5,
+    trials: int = 3,
+    master_seed: int = 0,
+) -> dict:
+    """Time a baseline scheduler against its ``*Reference`` oracle."""
+    from repro.baselines.psca import PscaScheduler, PscaSchedulerReference
+    from repro.baselines.tetris import (
+        TetrisScheduler,
+        TetrisSchedulerReference,
+    )
+
+    factories = {
+        "tetris": (TetrisScheduler, TetrisSchedulerReference),
+        "psca": (PscaScheduler, PscaSchedulerReference),
+    }
+    vectorized, reference = factories[component]
+    geometry = ArrayGeometry.square(size)
+    fast_scheduler = vectorized(geometry)
+    slow_scheduler = reference(geometry)
+    timings = _interleaved_timings(
+        trials,
+        lambda index: load_uniform(geometry, fill, rng=master_seed + index),
+        lambda array: fast_scheduler.schedule(array),
+        lambda array: slow_scheduler.schedule(array),
+    )
+    return _speedup_block(size, fill, timings)
+
+
+def measure_component_speedups(
+    size: int = 64,
+    fill: float = 0.5,
+    trials: int = 3,
+    master_seed: int = 0,
+) -> dict[str, dict]:
+    """All per-component before/after blocks (:data:`COMPONENT_NAMES`)."""
+    blocks = {
+        "repair": measure_repair_speedup(size, fill, trials, master_seed)
+    }
+    for component in ("tetris", "psca"):
+        blocks[component] = measure_baseline_speedup(
+            component, size, fill, trials, master_seed
+        )
+    return blocks
+
+
 def run_perf_suite(
     sizes: Sequence[int] = DEFAULT_SIZES,
     fills: Sequence[float] = DEFAULT_FILLS,
@@ -237,8 +371,9 @@ def run_perf_suite(
 
     ``size_caps`` bounds slow schedulers (default :data:`SIZE_CAPS`);
     capped cases land in the report's ``skipped`` list.  With
-    ``speedup_size`` set, the QRM before/after speedup block is measured
-    at that size (``None`` skips it, e.g. in CI smoke mode).
+    ``speedup_size`` set, the QRM before/after speedup block *and* the
+    per-component repair/Tetris/PSCA blocks are measured at that size
+    (``None`` skips them, e.g. in CI smoke mode).
     """
     caps = SIZE_CAPS if size_caps is None else size_caps
     report = PerfReport(master_seed=master_seed, trials=trials)
@@ -272,4 +407,109 @@ def run_perf_suite(
         report.speedup = measure_qrm_speedup(
             size=speedup_size, trials=trials, master_seed=master_seed
         )
+        if observer is not None:
+            observer(
+                f"component speedups at {speedup_size}x{speedup_size} "
+                f"({', '.join(COMPONENT_NAMES)})"
+            )
+        report.component_speedups = measure_component_speedups(
+            size=speedup_size, trials=trials, master_seed=master_seed
+        )
     return report
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+
+_SUMMARY_KEYS = ("mean", "std", "min", "max")
+_ENTRY_KEYS = ("algorithm", "size", "fill", "trials", "wall_ms", "moves")
+_SPEEDUP_KEYS = (
+    "size", "fill", "trials", "vectorized_ms", "reference_ms",
+    "seed_ms", "speedup_vs_seed", "speedup_vs_reference",
+)
+_COMPONENT_KEYS = (
+    "size", "fill", "trials", "vectorized_ms", "reference_ms",
+    "speedup_vs_reference",
+)
+
+
+def _check_summary(block: dict, context: str) -> None:
+    for key in _SUMMARY_KEYS:
+        if not isinstance(block.get(key), (int, float)):
+            raise ValueError(f"{context}.{key} missing or non-numeric")
+    if not block["min"] <= block["mean"] <= block["max"]:
+        raise ValueError(f"{context}: min <= mean <= max violated")
+
+
+def validate_bench_report(payload: dict) -> None:
+    """Raise :class:`ValueError` unless ``payload`` is a valid report.
+
+    This is the machine-checked contract behind ``BENCH_*.json``: the
+    schema version is pinned, every entry carries the summary keys with
+    coherent min/mean/max, trial counts are positive and uniform across
+    entries, and the speedup blocks (QRM and per-component) expose their
+    ratio keys.  ``tests/test_bench_schema.py`` holds both the committed
+    artefact and freshly generated reports to it.
+    """
+    if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {payload.get('schema_version')!r} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    for key in ("master_seed", "trials", "environment", "entries", "skipped"):
+        if key not in payload:
+            raise ValueError(f"missing top-level key {key!r}")
+    if not isinstance(payload["trials"], int) or payload["trials"] < 1:
+        raise ValueError(f"trials must be a positive int, got {payload['trials']!r}")
+
+    entries = payload["entries"]
+    for index, entry in enumerate(entries):
+        context = f"entries[{index}]"
+        for key in _ENTRY_KEYS:
+            if key not in entry:
+                raise ValueError(f"{context} missing key {key!r}")
+        if not isinstance(entry["trials"], int) or entry["trials"] < 1:
+            raise ValueError(f"{context}.trials must be a positive int")
+        if entry["trials"] != payload["trials"]:
+            raise ValueError(
+                f"{context}.trials {entry['trials']} drifted from the "
+                f"report-level {payload['trials']}"
+            )
+        _check_summary(entry["wall_ms"], f"{context}.wall_ms")
+        _check_summary(entry["moves"], f"{context}.moves")
+
+    for skip in payload["skipped"]:
+        for key in ("algorithm", "size", "reason"):
+            if key not in skip:
+                raise ValueError(f"skipped entry missing key {key!r}")
+
+    speedup = payload.get("speedup")
+    if speedup is not None:
+        for key in _SPEEDUP_KEYS:
+            if key not in speedup:
+                raise ValueError(f"speedup missing key {key!r}")
+        for key in ("vectorized_ms", "reference_ms", "seed_ms"):
+            _check_summary(speedup[key], f"speedup.{key}")
+        if speedup["speedup_vs_reference"] <= 0:
+            raise ValueError("speedup.speedup_vs_reference must be positive")
+
+    components = payload.get("component_speedups") or {}
+    for name, block in components.items():
+        if name not in COMPONENT_NAMES:
+            raise ValueError(f"unknown component speedup {name!r}")
+        for key in _COMPONENT_KEYS:
+            if key not in block:
+                raise ValueError(f"component_speedups[{name!r}] missing {key!r}")
+        for key in ("vectorized_ms", "reference_ms"):
+            _check_summary(block[key], f"component_speedups[{name!r}].{key}")
+        if block["speedup_vs_reference"] <= 0:
+            raise ValueError(
+                f"component_speedups[{name!r}].speedup_vs_reference "
+                f"must be positive"
+            )
+    if speedup is not None and set(components) != set(COMPONENT_NAMES):
+        raise ValueError(
+            f"component_speedups {sorted(components)} incomplete; "
+            f"expected {sorted(COMPONENT_NAMES)}"
+        )

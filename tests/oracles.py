@@ -1,0 +1,124 @@
+"""Shared differential-oracle test harness.
+
+Every vectorised hot path in this repository keeps its per-command
+predecessor alive as a ``*_reference`` oracle and must emit bit-identical
+output — same moves, same tags, same order, same statistics, same final
+grid.  This module is the reusable layer those equivalence suites build
+on:
+
+* Hypothesis strategies over geometry x fill x loss seeds
+  (:func:`atom_arrays`, :func:`occupancy_grids`, :func:`geometries`),
+  generating the scheduler inputs all differential tests share;
+* schedule-identity assertion helpers
+  (:func:`assert_moves_identical`, :func:`assert_results_identical`,
+  :func:`assert_pass_outcomes_identical`,
+  :func:`assert_repair_outcomes_identical`) that spell out exactly what
+  "bit-identical" means for each artefact.
+
+Used by ``test_pass_equivalence.py`` (QRM pass),
+``test_repair_equivalence.py`` (repair stage),
+``test_baseline_equivalence.py`` (Tetris/PSCA), and
+``test_executor_batch.py`` (batched replay).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import ArrayGeometry
+
+#: Default size/target pools: small enough to shrink well, large enough
+#: to exercise uneven quadrants and off-centre targets.
+SIZES = (4, 6, 8, 10, 12)
+TARGETS = (2, 4, 6)
+
+
+@st.composite
+def geometries(draw, sizes=SIZES, targets=TARGETS) -> ArrayGeometry:
+    """Square geometries with even extents and a centred even target."""
+    size = draw(st.sampled_from(sizes))
+    target = draw(st.sampled_from([t for t in targets if t <= size]))
+    return ArrayGeometry.square(size, target)
+
+
+@st.composite
+def occupancy_grids(draw, geometry: ArrayGeometry) -> np.ndarray:
+    """A random occupancy grid for ``geometry``: fill x seed x loss seed.
+
+    The grid is seeded uniform loading at a drawn fill fraction, with an
+    optional independent per-atom loss draw on top — the same composition
+    the campaign engine's loss trials produce, so differential tests see
+    post-loss occupancy patterns too.
+    """
+    fill = draw(st.floats(min_value=0.05, max_value=0.95))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    grid = np.random.default_rng(seed).random(geometry.shape) < fill
+    if draw(st.booleans()):
+        loss_rate = draw(st.floats(min_value=0.0, max_value=0.3))
+        loss_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+        survives = (
+            np.random.default_rng(loss_seed).random(geometry.shape)
+            >= loss_rate
+        )
+        grid &= survives
+    return grid
+
+
+@st.composite
+def atom_arrays(draw, sizes=SIZES, targets=TARGETS) -> AtomArray:
+    """Random :class:`AtomArray` over geometry x fill x loss seeds."""
+    geometry = draw(geometries(sizes=sizes, targets=targets))
+    return AtomArray(geometry, draw(occupancy_grids(geometry)))
+
+
+# ---------------------------------------------------------------------------
+# Identity assertions
+# ---------------------------------------------------------------------------
+
+
+def assert_moves_identical(ours, reference) -> None:
+    """Same move count, and per index: equal move and equal tag."""
+    __tracebackhide__ = True
+    ours = list(ours)
+    reference = list(reference)
+    assert len(ours) == len(reference), (
+        f"{len(ours)} moves vs {len(reference)} expected"
+    )
+    for index, (move, expected) in enumerate(zip(ours, reference)):
+        assert move == expected, f"move {index} differs"
+        assert move.tag == expected.tag, f"move {index} tag differs"
+
+
+def assert_pass_outcomes_identical(ours, reference) -> None:
+    """Bit-identity of two :class:`~repro.core.passes.PassOutcome`."""
+    assert_moves_identical(ours.moves, reference.moves)
+    assert ours.n_commands == reference.n_commands
+    assert ours.n_executed == reference.n_executed
+    assert ours.n_skipped_stale == reference.n_skipped_stale
+    assert ours.n_skipped_empty == reference.n_skipped_empty
+    assert ours.n_scanned_bits == reference.n_scanned_bits
+    assert ours.line_commands == reference.line_commands
+
+
+def assert_results_identical(ours, reference) -> None:
+    """Bit-identity of two :class:`RearrangementResult` schedules.
+
+    Wall-clock time is measured, not derived, so it is the one field
+    deliberately left out.
+    """
+    assert ours.algorithm == reference.algorithm
+    assert_moves_identical(ours.schedule, reference.schedule)
+    assert np.array_equal(ours.initial.grid, reference.initial.grid)
+    assert np.array_equal(ours.final.grid, reference.final.grid)
+    assert ours.converged == reference.converged
+    assert ours.analysis_ops == reference.analysis_ops
+    assert ours.unresolved_defects == reference.unresolved_defects
+
+
+def assert_repair_outcomes_identical(ours, reference) -> None:
+    """Bit-identity of two :class:`~repro.core.repair.RepairOutcome`."""
+    assert_moves_identical(ours.moves, reference.moves)
+    assert ours.filled == reference.filled
+    assert ours.unresolved == reference.unresolved

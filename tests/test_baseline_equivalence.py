@@ -1,0 +1,73 @@
+"""Tetris/PSCA baselines: vectorised planners == per-site references.
+
+The vectorised :class:`TetrisScheduler` and :class:`PscaScheduler` must
+emit exactly the schedules of their per-site re-scanning references —
+same moves, tags, order, analysis-op counts, convergence flags, and
+final grids — across random geometry x fill x loss inputs, and those
+schedules must replay cleanly through the independent validator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from oracles import assert_results_identical, atom_arrays
+
+from repro.aod.validator import validate_schedule
+from repro.baselines.psca import PscaScheduler, PscaSchedulerReference
+from repro.baselines.tetris import TetrisScheduler, TetrisSchedulerReference
+
+
+@given(atom_arrays())
+@settings(max_examples=60, deadline=None)
+def test_tetris_bit_identical_to_reference(array):
+    ours = TetrisScheduler(array.geometry).schedule(array)
+    expected = TetrisSchedulerReference(array.geometry).schedule(array)
+    assert_results_identical(ours, expected)
+
+
+@given(atom_arrays())
+@settings(max_examples=30, deadline=None)
+def test_tetris_schedule_replays_cleanly(array):
+    result = TetrisScheduler(array.geometry).schedule(array)
+    report = validate_schedule(array, result.schedule)
+    assert report.ok
+    assert report.final_array == result.final
+
+
+@given(atom_arrays(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_psca_bit_identical_to_reference(array, max_tweezers):
+    ours = PscaScheduler(
+        array.geometry, max_tweezers=max_tweezers
+    ).schedule(array)
+    expected = PscaSchedulerReference(
+        array.geometry, max_tweezers=max_tweezers
+    ).schedule(array)
+    assert_results_identical(ours, expected)
+
+
+@given(atom_arrays())
+@settings(max_examples=30, deadline=None)
+def test_psca_schedule_replays_cleanly(array):
+    result = PscaScheduler(array.geometry).schedule(array)
+    report = validate_schedule(array, result.schedule)
+    assert report.ok
+    assert report.final_array == result.final
+
+
+@given(atom_arrays())
+@settings(max_examples=30, deadline=None)
+def test_tetris_conserves_atoms(array):
+    result = TetrisScheduler(array.geometry).schedule(array)
+    assert result.final.n_atoms == array.n_atoms
+    assert np.array_equal(result.initial.grid, array.grid)
+
+
+@given(atom_arrays())
+@settings(max_examples=30, deadline=None)
+def test_psca_conserves_atoms(array):
+    result = PscaScheduler(array.geometry).schedule(array)
+    assert result.final.n_atoms == array.n_atoms
+    assert np.array_equal(result.initial.grid, array.grid)

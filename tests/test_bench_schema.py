@@ -1,0 +1,82 @@
+"""Schema contract for the ``BENCH_qrm.json`` perf artefact.
+
+``repro bench`` output is a committed, machine-readable artefact; this
+suite pins its layout with :func:`repro.analysis.perf.validate_bench_report`
+so a refactor cannot silently change the schema (or drop the speedup
+provenance blocks) without failing the tier-1 run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.perf import (
+    BENCH_SCHEMA_VERSION,
+    COMPONENT_NAMES,
+    run_perf_suite,
+    validate_bench_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+COMMITTED_BENCH = REPO_ROOT / "BENCH_qrm.json"
+
+
+@pytest.fixture(scope="module")
+def committed_payload() -> dict:
+    return json.loads(COMMITTED_BENCH.read_text())
+
+
+def test_committed_bench_artifact_validates(committed_payload):
+    validate_bench_report(committed_payload)
+
+
+def test_committed_bench_has_all_component_speedups(committed_payload):
+    components = committed_payload["component_speedups"]
+    assert set(components) == set(COMPONENT_NAMES)
+    for block in components.values():
+        assert block["speedup_vs_reference"] > 1.0
+
+
+def test_fresh_report_validates_end_to_end():
+    report = run_perf_suite(
+        sizes=(8,),
+        fills=(0.5,),
+        algorithms=("qrm",),
+        trials=1,
+        master_seed=0,
+        speedup_size=8,
+    )
+    payload = report.to_dict()
+    assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+    validate_bench_report(payload)
+    assert set(payload["component_speedups"]) == set(COMPONENT_NAMES)
+
+
+def test_validator_rejects_schema_drift():
+    report = run_perf_suite(
+        sizes=(8,),
+        fills=(0.5,),
+        algorithms=("qrm",),
+        trials=1,
+        master_seed=0,
+        speedup_size=None,
+    )
+    good = report.to_dict()
+    validate_bench_report(good)
+
+    stale = dict(good, schema_version=BENCH_SCHEMA_VERSION - 1)
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_bench_report(stale)
+
+    drifted = json.loads(json.dumps(good))
+    drifted["entries"][0]["trials"] += 1
+    with pytest.raises(ValueError, match="drifted"):
+        validate_bench_report(drifted)
+
+    broken = json.loads(json.dumps(good))
+    del broken["entries"][0]["wall_ms"]["std"]
+    with pytest.raises(ValueError, match="wall_ms"):
+        validate_bench_report(broken)

@@ -6,12 +6,20 @@ pinned pre-vectorization seed implementation): same moves, same tags,
 same order, same statistics, same final grid.  These tests enforce that
 for single passes and end-to-end schedules across scan modes, mirror
 merging, and the ``s_en`` bound.
+
+The identity assertions live in the shared :mod:`oracles` harness —
+this suite is the QRM instantiation of the repository-wide
+differential-oracle convention (see README, "Testing convention").
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from oracles import (
+    assert_moves_identical,
+    assert_pass_outcomes_identical,
+)
 
 from repro.analysis.seed_baseline import seed_run_pass
 from repro.config import QrmParameters, ScanMode
@@ -30,24 +38,6 @@ from repro.lattice.loading import load_uniform
 
 def _frames(geometry):
     return {q: geometry.quadrant_frame(q) for q in Quadrant}
-
-
-def assert_moves_identical(ours, reference):
-    __tracebackhint__ = True
-    assert len(ours) == len(reference)
-    for index, (move, expected) in enumerate(zip(ours, reference)):
-        assert move == expected, f"move {index} differs"
-        assert move.tag == expected.tag, f"move {index} tag differs"
-
-
-def assert_outcomes_identical(ours, reference):
-    assert_moves_identical(ours.moves, reference.moves)
-    assert ours.n_commands == reference.n_commands
-    assert ours.n_executed == reference.n_executed
-    assert ours.n_skipped_stale == reference.n_skipped_stale
-    assert ours.n_skipped_empty == reference.n_skipped_empty
-    assert ours.n_scanned_bits == reference.n_scanned_bits
-    assert ours.line_commands == reference.line_commands
 
 
 PASS_RUNNERS = {"reference": run_pass_reference, "seed": seed_run_pass}
@@ -72,7 +62,7 @@ class TestSinglePassEquivalence:
                 theirs, _frames(geometry), phase, scan_source=theirs.grid,
                 merge_mirror=merge, scan_limit=limit,
             )
-            assert_outcomes_identical(outcome, expected)
+            assert_pass_outcomes_identical(outcome, expected)
             assert np.array_equal(ours.grid, theirs.grid)
 
     @pytest.mark.parametrize("oracle", sorted(PASS_RUNNERS))
@@ -102,7 +92,7 @@ class TestSinglePassEquivalence:
                 theirs, _frames(geometry), Phase.COLUMN,
                 scan_source=snapshot.copy(), merge_mirror=merge, guard=True,
             )
-            assert_outcomes_identical(outcome, expected)
+            assert_pass_outcomes_identical(outcome, expected)
             assert np.array_equal(ours.grid, theirs.grid)
 
 

@@ -1,0 +1,105 @@
+"""Repair stage: vectorised == reference, plus routing invariants.
+
+The vectorised :func:`repro.core.repair.repair_defects` must emit
+exactly the moves of :func:`repair_defects_reference` (same legs, tags,
+order, counters, final grid), and both must satisfy the physical
+routing invariants: an atom is only ever transported through empty
+sites, the move budget is respected, and replaying the emitted moves
+through the executor reproduces the in-place outcome grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from oracles import assert_repair_outcomes_identical, atom_arrays
+
+from repro.aod.executor import apply_parallel_move_reference
+from repro.core.qrm import QrmScheduler
+from repro.core.repair import repair_defects, repair_defects_reference
+from repro.lattice.array import AtomArray
+
+
+@st.composite
+def repair_cases(draw):
+    """An array (optionally pre-compacted by QRM) plus a move budget.
+
+    Running QRM first produces the realistic post-compaction defect
+    patterns the repair stage exists for; the raw-array half of the
+    distribution keeps pathological loadings in play.
+    """
+    array = draw(atom_arrays())
+    if draw(st.booleans()):
+        array = QrmScheduler(array.geometry).schedule(array).final
+    max_moves = draw(st.sampled_from([1, 2, 5, 4096]))
+    return array, max_moves
+
+
+@given(repair_cases())
+@settings(max_examples=60, deadline=None)
+def test_vectorized_repair_bit_identical(case):
+    array, max_moves = case
+    ours = array.copy()
+    theirs = array.copy()
+    outcome = repair_defects(ours, max_moves=max_moves)
+    expected = repair_defects_reference(theirs, max_moves=max_moves)
+    assert_repair_outcomes_identical(outcome, expected)
+    assert np.array_equal(ours.grid, theirs.grid)
+
+
+@given(repair_cases())
+@settings(max_examples=60, deadline=None)
+def test_repair_never_moves_through_occupied_sites(case):
+    array, max_moves = case
+    work = array.copy()
+    outcome = repair_defects(work, max_moves=max_moves)
+
+    # Replay every leg from the initial state; each must depart from an
+    # occupied site and sweep only empty sites (destination included).
+    replay = array.copy()
+    for move in outcome.moves:
+        assert len(move.shifts) == 1
+        shift = move.shifts[0]
+        (site,) = shift.sites()
+        assert replay.grid[site], f"leg departs from empty site {site}"
+        dr, dc = shift.direction.delta
+        for step in range(1, shift.steps + 1):
+            swept = (site[0] + dr * step, site[1] + dc * step)
+            assert not replay.grid[swept], (
+                f"leg from {site} sweeps occupied site {swept}"
+            )
+        apply_parallel_move_reference(replay.grid, move)
+    # The executor replay must land on the in-place outcome grid.
+    assert np.array_equal(replay.grid, work.grid)
+
+
+@given(repair_cases())
+@settings(max_examples=60, deadline=None)
+def test_repair_respects_budget_and_accounts_every_defect(case):
+    array, max_moves = case
+    n_defects = len(array.target_defects())
+    n_atoms = array.n_atoms
+    work = array.copy()
+    outcome = repair_defects(work, max_moves=max_moves)
+
+    # Every initial defect is either filled or explicitly unresolved.
+    assert outcome.filled + outcome.unresolved == n_defects
+    # Each routed defect costs one or two legs; the budget check happens
+    # before routing, so it can be exceeded by at most one leg.
+    assert outcome.filled <= len(outcome.moves) <= 2 * outcome.filled
+    assert len(outcome.moves) <= max_moves + 1
+    # Repair transports atoms, never creates or destroys them, and the
+    # target fill grows by exactly the filled count.
+    assert work.n_atoms == n_atoms
+    assert work.target_count() == array.target_count() + outcome.filled
+
+
+def test_repair_zero_budget_resolves_nothing(geo8):
+    array = AtomArray.full(geo8)
+    array.set_site(0, 0, False)
+    array.grid[3, 3] = False
+    outcome = repair_defects(array, max_moves=0)
+    assert outcome.moves == []
+    assert outcome.filled == 0
+    assert outcome.unresolved == 1
