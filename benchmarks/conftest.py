@@ -30,6 +30,27 @@ RESULTS_DIR = Path(__file__).parent / "results"
 SEED_ENV = "REPRO_SEED"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _job_scoped_trial_cache(tmp_path_factory):
+    """Route the campaign trial cache through pytest's tmp factory.
+
+    Any benchmark (or code it calls) that opens a ``TrialCache``
+    without an explicit directory would otherwise write to
+    ``$REPRO_CACHE_DIR`` or ``.repro-cache/`` in the working directory
+    and leave it behind — in CI that means stray cache dirs accumulate
+    across jobs.  Pointing the env var at a pytest-managed tmp dir
+    keeps every run job-scoped and auto-cleaned.
+    """
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def seed_base() -> int:
     """Master seed for benchmark experiments (requires ``REPRO_SEED``)."""

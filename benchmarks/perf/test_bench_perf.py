@@ -62,8 +62,11 @@ def test_bench_perf_smoke(seed_base, results_dir, emit):
 def test_speedup_block_shape(seed_base):
     block = measure_qrm_speedup(size=16, trials=1, master_seed=seed_base)
     assert set(block) >= {
-        "vectorized_ms", "reference_ms", "seed_ms",
-        "speedup_vs_seed", "speedup_vs_reference",
+        "vectorized_ms",
+        "reference_ms",
+        "seed_ms",
+        "speedup_vs_seed",
+        "speedup_vs_reference",
     }
 
 

@@ -37,9 +37,7 @@ def test_qrm_fpga_cycle_model(benchmark, size):
     geometry = ArrayGeometry.square(size)
     array = load_uniform(geometry, 0.5, rng=size)
     accelerator = QrmAccelerator(geometry)
-    run = benchmark.pedantic(
-        accelerator.run, args=(array,), rounds=2, iterations=1
-    )
+    run = benchmark.pedantic(accelerator.run, args=(array,), rounds=2, iterations=1)
     assert run.report.total_cycles > 0
 
 

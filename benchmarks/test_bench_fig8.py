@@ -43,12 +43,8 @@ def test_fig8_table(benchmark, emit):
 
 def test_fig8_module_breakdown(benchmark, emit):
     model = ResourceModel()
-    report = benchmark.pedantic(
-        model.estimate, args=(50,), rounds=1, iterations=1
-    )
+    report = benchmark.pedantic(model.estimate, args=(50,), rounds=1, iterations=1)
     emit("fig8_breakdown_50", report.format_table())
-    qpm = next(
-        m for m in report.modules if m.name == "quadrant_processors"
-    )
+    qpm = next(m for m in report.modules if m.name == "quadrant_processors")
     # Sec. V-C: about half the logic sits in the four QPMs.
     assert qpm.luts / report.total_luts == pytest.approx(0.5, abs=0.02)

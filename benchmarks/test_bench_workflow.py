@@ -25,7 +25,5 @@ def test_workflow_comparison_table(benchmark, emit, seed_base):
     assert b_total < a_total / 2
     # In architecture (b) the analysis itself is a negligible slice —
     # exactly the situation the accelerator is built for.
-    analysis = next(
-        item for item in result.budget_b.items if "analysis" in item.stage
-    )
+    analysis = next(item for item in result.budget_b.items if "analysis" in item.stage)
     assert analysis.time_us < 0.1 * b_total

@@ -29,10 +29,7 @@ def main() -> None:
     args = parser.parse_args()
 
     geometry = ArrayGeometry.square(args.size)
-    arrays = [
-        load_uniform(geometry, fill=0.5, rng=seed)
-        for seed in range(args.trials)
-    ]
+    arrays = [load_uniform(geometry, fill=0.5, rng=seed) for seed in range(args.trials)]
 
     rows = []
     for name in ALGORITHMS:

@@ -44,9 +44,7 @@ def main() -> None:
         measured = []
         for seed in range(args.trials):
             array = load_uniform(geometry, fill, rng=seed)
-            measured.append(
-                scheduler.schedule(array).target_fill_fraction
-            )
+            measured.append(scheduler.schedule(array).target_fill_fraction)
         rows.append(
             [
                 fill,
@@ -58,8 +56,7 @@ def main() -> None:
 
     print(
         format_table(
-            ["loading p", "predicted fill", "measured fill",
-             "predicted defects"],
+            ["loading p", "predicted fill", "measured fill", "predicted defects"],
             rows,
             float_format=".3f",
             title=(

@@ -74,7 +74,9 @@ def main() -> None:
     )
 
     # -- 6. final state ------------------------------------------------------
-    print("[final]    ", summarize(result.final).format().replace("\n", "\n            "))
+    print(
+        "[final]    ", summarize(result.final).format().replace("\n", "\n            ")
+    )
 
     # -- bonus: why the paper wants all of this on the FPGA ----------------
     budgets = compare_architectures(args.size, fpga.report.time_us)

@@ -8,9 +8,11 @@ records their output against the paper's numbers.
 The grid-shaped runners (Fig. 7(a), Fig. 7(b), the success sweep, and
 the loss comparison) execute on the campaign engine
 (:mod:`repro.campaign`): pass ``executor=`` to parallelise them across
-processes and ``cache=`` to make re-runs incremental.  Within one
-campaign every algorithm sees identical loaded arrays (paired design),
-matching how the paper compares algorithms.
+processes (or fan them out asynchronously), ``cache=`` to make re-runs
+incremental, and ``journal=`` (a :class:`repro.campaign.RunJournal`)
+to make long regenerations resumable after an interruption.  Within
+one campaign every algorithm sees identical loaded arrays (paired
+design), matching how the paper compares algorithms.
 
 Paper anchor values are kept here as module constants so the comparison
 columns in every table come from one place.
@@ -51,11 +53,13 @@ PAPER_FIG8_AT_90 = {"LUT": 6.31, "FF": 6.19}
 DEFAULT_SIZES = (10, 30, 50, 70, 90)
 
 
-def _run_campaign(spec: CampaignSpec, executor, cache):
+def _run_campaign(spec: CampaignSpec, executor, cache, journal=None):
     """Run a campaign (deferred import: analysis <-> campaign cycle)."""
     from repro.campaign.engine import ExperimentCampaign
 
-    return ExperimentCampaign(spec, executor=executor, cache=cache).run()
+    return ExperimentCampaign(
+        spec, executor=executor, cache=cache, journal=journal
+    ).run()
 
 
 # ---------------------------------------------------------------------------
@@ -80,13 +84,22 @@ class Fig7aResult:
 
     def format_table(self) -> str:
         headers = [
-            "size", "fpga_cycles", "fpga_us", "cpu_model_us",
-            "cpu_python_us", "speedup(model)", "paper_fpga_us",
+            "size",
+            "fpga_cycles",
+            "fpga_us",
+            "cpu_model_us",
+            "cpu_python_us",
+            "speedup(model)",
+            "paper_fpga_us",
         ]
         body = [
             [
-                r.size, r.fpga_cycles, r.fpga_us, r.cpu_model_us,
-                r.cpu_measured_us, r.speedup_model,
+                r.size,
+                r.fpga_cycles,
+                r.fpga_us,
+                r.cpu_model_us,
+                r.cpu_measured_us,
+                r.speedup_model,
                 r.paper_fpga_us if r.paper_fpga_us is not None else "-",
             ]
             for r in self.rows
@@ -97,13 +110,23 @@ class Fig7aResult:
 
     def to_csv(self) -> str:
         headers = [
-            "size", "fpga_cycles", "fpga_us", "cpu_model_us",
-            "cpu_python_us", "speedup_model", "paper_fpga_us",
+            "size",
+            "fpga_cycles",
+            "fpga_us",
+            "cpu_model_us",
+            "cpu_python_us",
+            "speedup_model",
+            "paper_fpga_us",
         ]
         body = [
             [
-                r.size, r.fpga_cycles, r.fpga_us, r.cpu_model_us,
-                r.cpu_measured_us, r.speedup_model, r.paper_fpga_us or "",
+                r.size,
+                r.fpga_cycles,
+                r.fpga_us,
+                r.cpu_model_us,
+                r.cpu_measured_us,
+                r.speedup_model,
+                r.paper_fpga_us or "",
             ]
             for r in self.rows
         ]
@@ -117,6 +140,7 @@ def run_fig7a(
     fill: float = 0.5,
     executor=None,
     cache=None,
+    journal=None,
 ) -> Fig7aResult:
     """Regenerate Fig. 7(a): analysis latency vs array size."""
     spec = CampaignSpec(
@@ -129,7 +153,7 @@ def run_fig7a(
         fpga=True,
         timing=True,
     )
-    campaign = _run_campaign(spec, executor, cache)
+    campaign = _run_campaign(spec, executor, cache, journal=journal)
 
     result = Fig7aResult()
     for size in sizes:
@@ -171,7 +195,11 @@ class Fig7bResult:
 
     def format_table(self) -> str:
         headers = [
-            "algorithm", "model_us", "python_us", "paper_us", "x vs qrm-cpu",
+            "algorithm",
+            "model_us",
+            "python_us",
+            "paper_us",
+            "x vs qrm-cpu",
         ]
         body = [
             [
@@ -197,6 +225,7 @@ def run_fig7b(
     fill: float = 0.5,
     executor=None,
     cache=None,
+    journal=None,
 ) -> Fig7bResult:
     """Regenerate Fig. 7(b): QRM (FPGA+CPU) vs Tetris, PSCA, MTA1.
 
@@ -215,7 +244,7 @@ def run_fig7b(
         fpga=True,
         timing=True,
     )
-    campaign = _run_campaign(spec, executor, cache)
+    campaign = _run_campaign(spec, executor, cache, journal=journal)
 
     result = Fig7bResult(size=size)
     qrm_cpu_model = model_cpu_time_us("qrm", size)
@@ -273,7 +302,8 @@ class Fig8Result:
             for r in self.rows
         ]
         return format_table(
-            headers, body,
+            headers,
+            body,
             title=f"Fig 8: resource utilisation on {self.device}",
         )
 
@@ -328,9 +358,7 @@ class HeadlineResult:
             ],
             ["iterations used", self.iterations_used, self.paper_iterations],
         ]
-        return format_table(
-            headers, body, title="Headline claims (Sec. V-B)"
-        )
+        return format_table(headers, body, title="Headline claims (Sec. V-B)")
 
 
 def run_headline(seed: int = 0, fill: float = 0.5) -> HeadlineResult:
@@ -375,18 +403,29 @@ class AblationResult:
 
     def format_table(self) -> str:
         headers = [
-            "scan mode", "merge", "iterations", "moves", "target fill",
-            "stale skips", "fpga_us",
+            "scan mode",
+            "merge",
+            "iterations",
+            "moves",
+            "target fill",
+            "stale skips",
+            "fpga_us",
         ]
         body = [
             [
-                r.mode, r.merge, r.iterations, r.moves, r.target_fill,
-                r.skipped_stale, r.fpga_us,
+                r.mode,
+                r.merge,
+                r.iterations,
+                r.moves,
+                r.target_fill,
+                r.skipped_stale,
+                r.fpga_us,
             ]
             for r in self.rows
         ]
         return format_table(
-            headers, body,
+            headers,
+            body,
             title=f"Ablation: scan mode and mirror merge at {self.size}x{self.size}",
         )
 
@@ -398,6 +437,7 @@ def run_ablation(
     fill: float = 0.5,
     executor=None,
     cache=None,
+    journal=None,
 ) -> AblationResult:
     """Design-choice ablation for the column-pass staleness and merging.
 
@@ -433,13 +473,11 @@ def run_ablation(
         n_seeds=trials,
         master_seed=seed_base,
         extra_cells=tuple(
-            ScenarioCell(
-                algorithm="qrm", size=size, fill=fill, fpga=True, qrm=qrm
-            )
+            ScenarioCell(algorithm="qrm", size=size, fill=fill, fpga=True, qrm=qrm)
             for _, qrm in variants
         ),
     )
-    campaign = _run_campaign(spec, executor, cache)
+    campaign = _run_campaign(spec, executor, cache, journal=journal)
 
     result = AblationResult(size=size)
     for mode, qrm in variants:
@@ -469,13 +507,23 @@ class SuccessSweepResult:
 
     def format_table(self) -> str:
         headers = [
-            "algorithm", "size", "load fill", "target fill", "P(success)",
-            "moves", "trials",
+            "algorithm",
+            "size",
+            "load fill",
+            "target fill",
+            "P(success)",
+            "moves",
+            "trials",
         ]
         body = [
             [
-                r.algorithm, r.size, r.fill, r.mean_target_fill,
-                r.success_probability, r.mean_moves, r.trials,
+                r.algorithm,
+                r.size,
+                r.fill,
+                r.mean_target_fill,
+                r.success_probability,
+                r.mean_moves,
+                r.trials,
             ]
             for r in self.rows
         ]
@@ -492,6 +540,7 @@ def run_success_sweep(
     algorithms: tuple[str, ...] = ("qrm", "qrm-repair"),
     executor=None,
     cache=None,
+    journal=None,
 ) -> SuccessSweepResult:
     """How assembly quality depends on the loading probability."""
     spec = CampaignSpec(
@@ -502,7 +551,7 @@ def run_success_sweep(
         n_seeds=trials,
         master_seed=seed_base,
     )
-    campaign = _run_campaign(spec, executor, cache)
+    campaign = _run_campaign(spec, executor, cache, journal=journal)
     result = SuccessSweepResult()
     result.rows = campaign.fill_stats()
     return result
@@ -529,15 +578,19 @@ class LossComparisonResult:
 
     def format_table(self) -> str:
         headers = [
-            "algorithm", "moves", "motion_ms", "survival", "fill after loss",
+            "algorithm",
+            "moves",
+            "motion_ms",
+            "survival",
+            "fill after loss",
         ]
         body = [
-            [r.algorithm, r.moves, r.motion_ms, r.survival,
-             r.target_fill_after_loss]
+            [r.algorithm, r.moves, r.motion_ms, r.survival, r.target_fill_after_loss]
             for r in self.rows
         ]
         return format_table(
-            headers, body,
+            headers,
+            body,
             title=(
                 f"Physical atom loss vs schedule structure, "
                 f"{self.size}x{self.size} array"
@@ -554,6 +607,7 @@ def run_loss_comparison(
     loss: LossSpec | None = None,
     executor=None,
     cache=None,
+    journal=None,
 ) -> LossComparisonResult:
     """How each algorithm's schedule length translates into atom loss."""
     spec = CampaignSpec(
@@ -565,7 +619,7 @@ def run_loss_comparison(
         master_seed=seed_base,
         loss_models=(loss if loss is not None else LossSpec(),),
     )
-    campaign = _run_campaign(spec, executor, cache)
+    campaign = _run_campaign(spec, executor, cache, journal=journal)
     result = LossComparisonResult(size=size)
     for name in algorithms:
         aggregate = campaign.aggregate_for(algorithm=name)
@@ -612,6 +666,4 @@ def run_workflow_comparison(size: int = 50, seed: int = 0) -> WorkflowResult:
     array = load_uniform(geometry, 0.5, rng=seed)
     fpga_us = QrmAccelerator(geometry).run(array).report.time_us
     budgets = compare_architectures(size, fpga_us)
-    return WorkflowResult(
-        size=size, budget_a=budgets["a"], budget_b=budgets["b"]
-    )
+    return WorkflowResult(size=size, budget_a=budgets["a"], budget_b=budgets["b"])

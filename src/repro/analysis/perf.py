@@ -134,20 +134,34 @@ class PerfReport:
 
     def format_table(self) -> str:
         headers = [
-            "algorithm", "size", "fill", "trials",
-            "wall_ms", "std", "min", "max", "moves",
+            "algorithm",
+            "size",
+            "fill",
+            "trials",
+            "wall_ms",
+            "std",
+            "min",
+            "max",
+            "moves",
         ]
         body = [
             [
-                r.case.algorithm, r.case.size, r.case.fill, r.wall_ms.n,
-                r.wall_ms.mean, r.wall_ms.std, r.wall_ms.minimum,
-                r.wall_ms.maximum, r.moves.mean,
+                r.case.algorithm,
+                r.case.size,
+                r.case.fill,
+                r.wall_ms.n,
+                r.wall_ms.mean,
+                r.wall_ms.std,
+                r.wall_ms.minimum,
+                r.wall_ms.maximum,
+                r.moves.mean,
             ]
             for r in self.records
         ]
         parts = [
             format_table(
-                headers, body,
+                headers,
+                body,
                 title="Schedule-construction wall time (per schedule)",
             )
         ]
@@ -221,7 +235,10 @@ def measure_qrm_speedup(
     ):
         wall_ms, _ = _time_schedules(
             lambda geo, r=runner: QrmScheduler(geo, pass_runner=r),
-            size, fill, trials, master_seed,
+            size,
+            fill,
+            trials,
+            master_seed,
         )
         timings[name] = wall_ms
 
@@ -239,9 +256,7 @@ def measure_qrm_speedup(
     }
 
 
-def _speedup_block(
-    size: int, fill: float, timings: dict[str, Summary]
-) -> dict:
+def _speedup_block(size: int, fill: float, timings: dict[str, Summary]) -> dict:
     """JSON shape shared by every vectorised-vs-reference measurement."""
     return {
         "size": size,
@@ -347,9 +362,7 @@ def measure_component_speedups(
     master_seed: int = 0,
 ) -> dict[str, dict]:
     """All per-component before/after blocks (:data:`COMPONENT_NAMES`)."""
-    blocks = {
-        "repair": measure_repair_speedup(size, fill, trials, master_seed)
-    }
+    blocks = {"repair": measure_repair_speedup(size, fill, trials, master_seed)}
     for component in ("tetris", "psca"):
         blocks[component] = measure_baseline_speedup(
             component, size, fill, trials, master_seed
@@ -386,7 +399,7 @@ def run_perf_suite(
                         "algorithm": algorithm,
                         "size": size,
                         "reason": f"size above default cap {cap} "
-                                  f"(pass --no-size-caps to include)",
+                        f"(pass --no-size-caps to include)",
                     }
                 )
                 continue
@@ -396,7 +409,10 @@ def run_perf_suite(
                     observer(case.label())
                 wall_ms, moves = _time_schedules(
                     lambda geo, name=algorithm: get_algorithm(name, geo),
-                    size, fill, trials, master_seed,
+                    size,
+                    fill,
+                    trials,
+                    master_seed,
                 )
                 report.records.append(
                     BenchRecord(case=case, wall_ms=wall_ms, moves=moves)
@@ -425,11 +441,21 @@ def run_perf_suite(
 _SUMMARY_KEYS = ("mean", "std", "min", "max")
 _ENTRY_KEYS = ("algorithm", "size", "fill", "trials", "wall_ms", "moves")
 _SPEEDUP_KEYS = (
-    "size", "fill", "trials", "vectorized_ms", "reference_ms",
-    "seed_ms", "speedup_vs_seed", "speedup_vs_reference",
+    "size",
+    "fill",
+    "trials",
+    "vectorized_ms",
+    "reference_ms",
+    "seed_ms",
+    "speedup_vs_seed",
+    "speedup_vs_reference",
 )
 _COMPONENT_KEYS = (
-    "size", "fill", "trials", "vectorized_ms", "reference_ms",
+    "size",
+    "fill",
+    "trials",
+    "vectorized_ms",
+    "reference_ms",
     "speedup_vs_reference",
 )
 

@@ -78,8 +78,7 @@ def _seed_scan_axis(
             for u in range(grid.shape[0])
         ]
     return [
-        seed_scan_line(grid[:, v], line=v, limit=limit)
-        for v in range(grid.shape[1])
+        seed_scan_line(grid[:, v], line=v, limit=limit) for v in range(grid.shape[1])
     ]
 
 
@@ -215,8 +214,13 @@ def seed_run_pass(
                     outcome.n_skipped_stale += 1
                     continue
                 if not _seed_span_has_atom(
-                    grid, state.frame, phase, state.line, cur,
-                    state.executed, state.n_positions,
+                    grid,
+                    state.frame,
+                    phase,
+                    state.line,
+                    cur,
+                    state.executed,
+                    state.n_positions,
                 ):
                     state.next_index += 1
                     outcome.n_skipped_empty += 1
@@ -245,8 +249,12 @@ def seed_run_pass(
                     for state, cur in members:
                         shifts.append(
                             _seed_span_to_shift(
-                                state.frame, phase, state.line, cur,
-                                state.executed, state.n_positions,
+                                state.frame,
+                                phase,
+                                state.line,
+                                cur,
+                                state.executed,
+                                state.n_positions,
                             )
                         )
                         state.next_index += 1

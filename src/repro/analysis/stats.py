@@ -31,9 +31,7 @@ class Summary:
         return cls(mean, math.sqrt(var), min(values), max(values), n)
 
 
-def run_trials(
-    fn: Callable[[int], float], seeds: Sequence[int]
-) -> Summary:
+def run_trials(fn: Callable[[int], float], seeds: Sequence[int]) -> Summary:
     """Evaluate ``fn(seed)`` over seeds and summarise."""
     return Summary.of([fn(seed) for seed in seeds])
 

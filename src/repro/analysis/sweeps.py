@@ -71,9 +71,7 @@ def run_sweep(
     if not metrics:
         raise ConfigurationError("a sweep needs at least one metric")
     names = list(parameters)
-    result = SweepResult(
-        parameter_names=names, metric_names=list(metrics)
-    )
+    result = SweepResult(parameter_names=names, metric_names=list(metrics))
     for point in itertools.product(*(parameters[name] for name in names)):
         kwargs = dict(zip(names, point))
         row: list[Any] = list(point)
@@ -91,12 +89,14 @@ def qrm_quality_sweep(
     algorithm: str = "qrm",
     executor=None,
     cache=None,
+    journal=None,
 ) -> SweepResult:
     """Ready-made sweep: QRM target fill and moves over size x fill.
 
-    Runs on the campaign engine — pass ``executor=`` to parallelise and
+    Runs on the campaign engine — pass ``executor=`` to parallelise,
     ``cache=`` (a :class:`repro.campaign.TrialCache`) for incremental
-    re-runs.
+    re-runs, and ``journal=`` (a :class:`repro.campaign.RunJournal`)
+    for interrupt/resume.
     """
     from repro.campaign.engine import ExperimentCampaign
     from repro.campaign.spec import CampaignSpec
@@ -109,7 +109,9 @@ def qrm_quality_sweep(
         n_seeds=trials,
         master_seed=seed_base,
     )
-    campaign = ExperimentCampaign(spec, executor=executor, cache=cache).run()
+    campaign = ExperimentCampaign(
+        spec, executor=executor, cache=cache, journal=journal
+    ).run()
     result = SweepResult(
         parameter_names=["size", "fill"],
         metric_names=["target_fill", "p_success", "moves"],

@@ -20,9 +20,7 @@ def format_table(
     title: str | None = None,
 ) -> str:
     """Fixed-width table with a header rule."""
-    cells = [
-        [_format_cell(value, float_format) for value in row] for row in rows
-    ]
+    cells = [[_format_cell(value, float_format) for value in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in cells:
         for i, cell in enumerate(row):

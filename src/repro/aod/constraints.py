@@ -135,7 +135,10 @@ def check_parallel_move(
                 f"{n_lines} line tones exceed budget {constraints.max_line_tones}",
             )
         )
-    if constraints.max_cross_tones is not None and n_cross > constraints.max_cross_tones:
+    if (
+        constraints.max_cross_tones is not None
+        and n_cross > constraints.max_cross_tones
+    ):
         violations.append(
             Violation(
                 TONE_BUDGET,
@@ -144,9 +147,7 @@ def check_parallel_move(
         )
 
     if constraints.forbid_empty_moves and moved_atoms == 0:
-        violations.append(
-            Violation(EMPTY_MOVE, "move displaces zero atoms")
-        )
+        violations.append(Violation(EMPTY_MOVE, "move displaces zero atoms"))
 
     return violations
 

@@ -53,9 +53,7 @@ def apply_parallel_move_reference(grid: np.ndarray, move: ParallelMove) -> int:
             raise MoveError(f"two atoms land on {dest}")
         landing_seen.add(dest)
         if grid[dest] and dest not in source_set:
-            raise MoveError(
-                f"atom from {site} collides with static atom at {dest}"
-            )
+            raise MoveError(f"atom from {site} collides with static atom at {dest}")
 
     for site in sources:
         grid[site] = False
@@ -64,9 +62,7 @@ def apply_parallel_move_reference(grid: np.ndarray, move: ParallelMove) -> int:
     return len(sources)
 
 
-def _plan_line_shift(
-    vec: np.ndarray, shift
-) -> tuple[np.ndarray, np.ndarray] | None:
+def _plan_line_shift(vec: np.ndarray, shift) -> tuple[np.ndarray, np.ndarray] | None:
     """Validate one line shift against a 1-D occupancy view.
 
     Returns ``(sources, destinations)`` as index arrays into ``vec``, or
@@ -92,9 +88,7 @@ def _plan_line_shift(
         )
     outside = dst[(dst < a) | (dst >= b)]
     if outside.size and vec[outside].any():
-        raise MoveError(
-            f"line {shift.line}: segment collides with a static atom"
-        )
+        raise MoveError(f"line {shift.line}: segment collides with a static atom")
     return src, dst
 
 
@@ -154,8 +148,7 @@ def apply_parallel_move_batch(grid: np.ndarray, move: ParallelMove) -> int:
     """
     shifts = move.shifts
     if len(shifts) < _BATCH_MIN_SHIFTS or any(
-        s.steps != move.steps or s.direction is not move.direction
-        for s in shifts
+        s.steps != move.steps or s.direction is not move.direction for s in shifts
     ):
         # Small moves, and trusted bundles that violated the uniform
         # direction/steps contract, keep the per-shift semantics (which
@@ -167,15 +160,11 @@ def apply_parallel_move_batch(grid: np.ndarray, move: ParallelMove) -> int:
     n_lines = height if horizontal else width
     size = width if horizontal else height
 
-    lines = np.fromiter(
-        (s.line for s in shifts), dtype=np.intp, count=len(shifts)
-    )
+    lines = np.fromiter((s.line for s in shifts), dtype=np.intp, count=len(shifts))
     starts = np.fromiter(
         (s.span_start for s in shifts), dtype=np.intp, count=len(shifts)
     )
-    stops = np.fromiter(
-        (s.span_stop for s in shifts), dtype=np.intp, count=len(shifts)
-    )
+    stops = np.fromiter((s.span_stop for s in shifts), dtype=np.intp, count=len(shifts))
     lengths = stops - starts
     if (
         lines.min() < 0
@@ -263,9 +252,7 @@ def execute_schedule(
             for violation in check_parallel_move(array.grid, move, constraints):
                 report.violations.append((index, violation))
                 if strict:
-                    raise MoveError(
-                        f"move {index} violates constraints: {violation}"
-                    )
+                    raise MoveError(f"move {index} violates constraints: {violation}")
         try:
             moved = apply_parallel_move_batch(array.grid, move)
         except MoveError:

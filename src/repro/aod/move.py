@@ -47,9 +47,7 @@ class LineShift:
         if self.line < 0:
             raise MoveError(f"line index must be >= 0, got {self.line}")
         if self.span_start < 0 or self.span_stop <= self.span_start:
-            raise MoveError(
-                f"invalid span [{self.span_start}, {self.span_stop})"
-            )
+            raise MoveError(f"invalid span [{self.span_start}, {self.span_stop})")
         if self.steps < 1:
             raise MoveError(f"steps must be >= 1, got {self.steps}")
 
@@ -85,9 +83,7 @@ class LineShift:
     def sites(self) -> list[tuple[int, int]]:
         """Selected trap sites ``(row, col)`` of this shift."""
         if self.direction.is_horizontal:
-            return [
-                (self.line, c) for c in range(self.span_start, self.span_stop)
-            ]
+            return [(self.line, c) for c in range(self.span_start, self.span_stop)]
         return [(r, self.line) for r in range(self.span_start, self.span_stop)]
 
     def destination(self, site: tuple[int, int]) -> tuple[int, int]:
@@ -113,9 +109,13 @@ class LineShift:
         """Sites guaranteed empty after the shift (the trailing edge)."""
         dr, dc = self.direction.delta
         if dr + dc > 0:
-            trail = range(self.span_start, self.span_start + min(self.steps, self.span_length))
+            trail = range(
+                self.span_start, self.span_start + min(self.steps, self.span_length)
+            )
         else:
-            trail = range(max(self.span_start, self.span_stop - self.steps), self.span_stop)
+            trail = range(
+                max(self.span_start, self.span_stop - self.steps), self.span_stop
+            )
         if self.direction.is_horizontal:
             return [(self.line, c) for c in trail]
         return [(r, self.line) for r in trail]
@@ -153,9 +153,7 @@ class ParallelMove:
                     f"{self.steps}"
                 )
             if shift.line in lines_seen:
-                raise MoveError(
-                    f"two shifts target the same line {shift.line}"
-                )
+                raise MoveError(f"two shifts target the same line {shift.line}")
             lines_seen.add(shift.line)
 
     @classmethod
@@ -172,9 +170,7 @@ class ParallelMove:
         guarantee uniform direction/steps and distinct lines upfront.
         """
         move = object.__new__(cls)
-        move.__dict__.update(
-            direction=direction, steps=steps, shifts=shifts, tag=tag
-        )
+        move.__dict__.update(direction=direction, steps=steps, shifts=shifts, tag=tag)
         return move
 
     @classmethod

@@ -84,13 +84,9 @@ def schedule_from_dict(data: dict[str, Any]) -> MoveSchedule:
         schedule = MoveSchedule(geometry, algorithm=data.get("algorithm", ""))
         for move_data in data["moves"]:
             shifts = [_shift_from_dict(s) for s in move_data["shifts"]]
-            schedule.append(
-                ParallelMove.of(shifts, tag=move_data.get("tag", ""))
-            )
+            schedule.append(ParallelMove.of(shifts, tag=move_data.get("tag", "")))
     except (KeyError, TypeError) as exc:
-        raise ScheduleValidationError(
-            "malformed schedule document"
-        ) from exc
+        raise ScheduleValidationError("malformed schedule document") from exc
     return schedule
 
 

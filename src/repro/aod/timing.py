@@ -46,11 +46,7 @@ class MoveTimingModel:
 
     def move_duration_us(self, move: ParallelMove) -> float:
         """Duration of one parallel move (all lines ramp together)."""
-        return (
-            self.pickup_us
-            + move.steps * self.transfer_us_per_site
-            + self.drop_us
-        )
+        return (self.pickup_us + move.steps * self.transfer_us_per_site + self.drop_us)
 
     def schedule_motion_us(self, schedule: MoveSchedule) -> float:
         """Total wall time for the atoms to execute ``schedule``."""

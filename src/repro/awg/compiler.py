@@ -24,9 +24,7 @@ from repro.lattice.geometry import Direction
 
 
 def _axis_tones(tone_map, indices: list[int]) -> tuple[Tone, ...]:
-    return tuple(
-        Tone(start_mhz=f, end_mhz=f) for f in tone_map.frequencies(indices)
-    )
+    return tuple(Tone(start_mhz=f, end_mhz=f) for f in tone_map.frequencies(indices))
 
 
 def _chirped_tones(tone_map, indices: list[int], delta: int) -> tuple[Tone, ...]:
@@ -59,13 +57,9 @@ def compile_move(
     if move.direction in (Direction.NORTH, Direction.WEST):
         delta = -delta
     if move.is_horizontal:
-        transport_tones = row_static + _chirped_tones(
-            tones.cols, col_indices, delta
-        )
+        transport_tones = row_static + _chirped_tones(tones.cols, col_indices, delta)
     else:
-        transport_tones = col_static + _chirped_tones(
-            tones.rows, row_indices, delta
-        )
+        transport_tones = col_static + _chirped_tones(tones.rows, row_indices, delta)
 
     label = f"move{index}"
     pickup = Segment(

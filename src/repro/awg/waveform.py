@@ -44,9 +44,7 @@ class Segment:
 
     def __post_init__(self) -> None:
         if self.duration_us <= 0:
-            raise WaveformError(
-                f"segment '{self.label}' needs positive duration"
-            )
+            raise WaveformError(f"segment '{self.label}' needs positive duration")
         for amp in (self.amplitude_start, self.amplitude_end):
             if not 0.0 <= amp <= 1.0:
                 raise WaveformError(
@@ -102,9 +100,7 @@ class WaveformProgram:
         """Concatenate all segment samples (use on small programs only)."""
         if not self.segments:
             return np.zeros(0, dtype=float)
-        return np.concatenate(
-            [s.synthesize(sample_rate_msps) for s in self.segments]
-        )
+        return np.concatenate([s.synthesize(sample_rate_msps) for s in self.segments])
 
     def __len__(self) -> int:
         return len(self.segments)

@@ -72,9 +72,7 @@ def _register_builtins() -> None:
     )
     register_algorithm(
         "qrm-repair",
-        lambda geo: QrmScheduler(
-            geo, QrmParameters(enable_repair=True)
-        ),
+        lambda geo: QrmScheduler(geo, QrmParameters(enable_repair=True)),
     )
     register_algorithm(
         "qrm-sen",

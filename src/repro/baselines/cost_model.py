@@ -93,7 +93,5 @@ def model_cpu_time_us(algorithm: str, size: int) -> float:
         model = COST_MODELS[algorithm]
     except KeyError:
         known = ", ".join(sorted(COST_MODELS))
-        raise KeyError(
-            f"no cost model for '{algorithm}'; known: {known}"
-        ) from None
+        raise KeyError(f"no cost model for '{algorithm}'; known: {known}") from None
     return model.time_us(size)

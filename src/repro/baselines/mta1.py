@@ -41,9 +41,7 @@ class Mta1Scheduler:
 
     def schedule(self, array: AtomArray) -> RearrangementResult:
         if array.geometry != self.geometry:
-            raise ValueError(
-                "array geometry does not match the scheduler's geometry"
-            )
+            raise ValueError("array geometry does not match the scheduler's geometry")
         t_start = time.perf_counter()
         live = array.copy()
         moves = MoveSchedule(self.geometry, algorithm=self.name)
@@ -62,9 +60,7 @@ class Mta1Scheduler:
         )
         for defect in defects:
             reservoir = [
-                site
-                for site in live.occupied_sites()
-                if not target.contains(*site)
+                site for site in live.occupied_sites() if not target.contains(*site)
             ]
             ops += len(reservoir) + self.geometry.n_sites
             reservoir.sort(

@@ -61,9 +61,7 @@ class PscaScheduler:
 
     # -- planning helpers -----------------------------------------------
 
-    def _round(
-        self, array: AtomArray, schedule: MoveSchedule, vertical: bool
-    ) -> int:
+    def _round(self, array: AtomArray, schedule: MoveSchedule, vertical: bool) -> int:
         """One full re-scan + batched execution; returns shifts done.
 
         Each half of every line is scanned for its innermost hole with
@@ -79,21 +77,25 @@ class PscaScheduler:
             span_len = height
             # Local views are line-major with position 0 innermost.
             sides = (
-                (Direction.NORTH, np.ascontiguousarray(grid[half:, :].T),
-                 half, +1),
-                (Direction.SOUTH,
-                 np.ascontiguousarray(grid[:half, :][::-1, :].T),
-                 half - 1, -1),
+                (Direction.NORTH, np.ascontiguousarray(grid[half:, :].T), half, +1),
+                (
+                    Direction.SOUTH,
+                    np.ascontiguousarray(grid[:half, :][::-1, :].T),
+                    half - 1,
+                    -1,
+                ),
             )
         else:
             half = width // 2
             span_len = width
             sides = (
-                (Direction.EAST,
-                 np.ascontiguousarray(grid[:, :half][:, ::-1]),
-                 half - 1, -1),
-                (Direction.WEST, np.ascontiguousarray(grid[:, half:]),
-                 half, +1),
+                (
+                    Direction.EAST,
+                    np.ascontiguousarray(grid[:, :half][:, ::-1]),
+                    half - 1,
+                    -1,
+                ),
+                (Direction.WEST, np.ascontiguousarray(grid[:, half:]), half, +1),
             )
 
         n_shifts = 0
@@ -117,9 +119,7 @@ class PscaScheduler:
             order = np.lexsort((lines_idx, holes_full))
             holes_sorted = holes_full[order].tolist()
             lines_sorted = lines_idx[order].tolist()
-            starts = np.nonzero(
-                np.r_[True, np.diff(holes_full[order]) != 0]
-            )[0]
+            starts = np.nonzero(np.r_[True, np.diff(holes_full[order]) != 0])[0]
             ends = np.append(starts[1:], len(holes_sorted))
             inward = direction in (Direction.EAST, Direction.SOUTH)
             for lo, hi in zip(starts.tolist(), ends.tolist()):
@@ -132,9 +132,7 @@ class PscaScheduler:
                         LineShift.trusted(direction, line, span[0], span[1])
                         for line in chunk
                     )
-                    schedule.append(
-                        ParallelMove.trusted(direction, 1, shifts, tag=tag)
-                    )
+                    schedule.append(ParallelMove.trusted(direction, 1, shifts, tag=tag))
 
         # Net grid update: close every addressed line's first hole.  The
         # two sides of one round own disjoint grid halves, so their
@@ -147,9 +145,7 @@ class PscaScheduler:
                 axis=1,
             )
             take = idx[None, :] + (idx[None, :] >= first[:, None])
-            local[lines_idx] = padded[
-                np.arange(lines_idx.size)[:, None], take
-            ]
+            local[lines_idx] = padded[np.arange(lines_idx.size)[:, None], take]
             if vertical:
                 if direction is Direction.NORTH:
                     grid[height // 2 :, :] = local.T
@@ -166,9 +162,7 @@ class PscaScheduler:
 
     def schedule(self, array: AtomArray) -> RearrangementResult:
         if array.geometry != self.geometry:
-            raise ValueError(
-                "array geometry does not match the scheduler's geometry"
-            )
+            raise ValueError("array geometry does not match the scheduler's geometry")
         t_start = time.perf_counter()
         live = array.copy()
         moves = MoveSchedule(self.geometry, algorithm=self.name)
@@ -211,9 +205,7 @@ class PscaSchedulerReference(PscaScheduler):
     — the differential property tests enforce it.
     """
 
-    def _round(
-        self, array: AtomArray, schedule: MoveSchedule, vertical: bool
-    ) -> int:
+    def _round(self, array: AtomArray, schedule: MoveSchedule, vertical: bool) -> int:
         groups = self._plan_lines(array.grid, vertical)
         return self._emit_batches(array, schedule, groups, vertical)
 
@@ -291,9 +283,7 @@ class PscaSchedulerReference(PscaScheduler):
                             span_stop=span[1],
                         )
                     )
-                move = ParallelMove.of(
-                    shifts, tag=f"psca-{direction.value}-h{hole}"
-                )
+                move = ParallelMove.of(shifts, tag=f"psca-{direction.value}-h{hole}")
                 apply_parallel_move(grid, move)
                 schedule.append(move)
                 n_shifts += len(shifts)

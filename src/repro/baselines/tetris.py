@@ -58,9 +58,7 @@ class TetrisScheduler:
 
     # -- helpers -----------------------------------------------------------
 
-    def _compress_row(
-        self, array: AtomArray, schedule: MoveSchedule, row: int
-    ) -> int:
+    def _compress_row(self, array: AtomArray, schedule: MoveSchedule, row: int) -> int:
         """Fully compact ``row`` toward the centre columns; returns ops.
 
         One :func:`scan_line` per half replaces the reference's re-scan
@@ -89,16 +87,20 @@ class TetrisScheduler:
         for k in range(rounds.size):
             if k < len(west_list):
                 shift = LineShift.trusted(
-                    Direction.EAST, row,
-                    span_start=0, span_stop=west_list[k],
+                    Direction.EAST,
+                    row,
+                    span_start=0,
+                    span_stop=west_list[k],
                 )
                 schedule.append(
                     ParallelMove.trusted(Direction.EAST, 1, (shift,), tag=tag)
                 )
             if k < len(east_list):
                 shift = LineShift.trusted(
-                    Direction.WEST, row,
-                    span_start=east_list[k] + 1, span_stop=width,
+                    Direction.WEST,
+                    row,
+                    span_start=east_list[k] + 1,
+                    span_stop=width,
                 )
                 schedule.append(
                     ParallelMove.trusted(Direction.WEST, 1, (shift,), tag=tag)
@@ -156,9 +158,7 @@ class TetrisScheduler:
                 )
                 for col in pulled
             ]
-            schedule.append(
-                ParallelMove.of(shifts, tag=f"tetris-pull-r{row}")
-            )
+            schedule.append(ParallelMove.of(shifts, tag=f"tetris-pull-r{row}"))
             grid[source_row, pulled] = False
             grid[row, pulled] = True
         return ops, unresolved
@@ -167,9 +167,7 @@ class TetrisScheduler:
 
     def schedule(self, array: AtomArray) -> RearrangementResult:
         if array.geometry != self.geometry:
-            raise ValueError(
-                "array geometry does not match the scheduler's geometry"
-            )
+            raise ValueError("array geometry does not match the scheduler's geometry")
         t_start = time.perf_counter()
         live = array.copy()
         moves = MoveSchedule(self.geometry, algorithm=self.name)
@@ -212,9 +210,7 @@ class TetrisSchedulerReference(TetrisScheduler):
     differential property tests enforce it.
     """
 
-    def _compress_row(
-        self, array: AtomArray, schedule: MoveSchedule, row: int
-    ) -> int:
+    def _compress_row(self, array: AtomArray, schedule: MoveSchedule, row: int) -> int:
         grid = array.grid
         width = self.geometry.width
         half = width // 2
@@ -231,9 +227,7 @@ class TetrisSchedulerReference(TetrisScheduler):
             hole = self._innermost_hole_high(line, half, width)
             if hole is not None:
                 shifts.append(
-                    LineShift(
-                        Direction.WEST, row, span_start=hole + 1, span_stop=width
-                    )
+                    LineShift(Direction.WEST, row, span_start=hole + 1, span_stop=width)
                 )
             if not shifts:
                 return ops

@@ -2,12 +2,21 @@
 
 Declares Monte-Carlo scenario grids (array size x fill x algorithm x
 loss model), executes every (cell, seed) trial exactly once with
-deterministic ``SeedSequence``-spawned RNG streams, caches per-trial
-results on disk, and aggregates into the ``analysis`` table outputs.
-See README.md ("Campaign engine") for the spec format and CLI.
+deterministic ``SeedSequence``-spawned RNG streams — serially, over a
+process pool, through the asyncio executor, or across worker processes
+via the dispatch skeleton — caches per-trial results on disk, records
+resumable JSONL run journals, and aggregates into the ``analysis``
+table outputs.  See README.md ("Campaign engine") for the spec format,
+the journal format, and the CLI.
 """
 
 from repro.campaign.cache import TrialCache, default_cache_dir
+from repro.campaign.dispatch import (
+    DistributedExecutor,
+    SubprocessWorkerTransport,
+    WorkerSpec,
+    WorkerTransport,
+)
 from repro.campaign.engine import (
     CampaignResult,
     CellAggregate,
@@ -16,15 +25,24 @@ from repro.campaign.engine import (
     run_campaign,
 )
 from repro.campaign.executors import (
+    EXECUTOR_KINDS,
+    AsyncExecutor,
     CampaignExecutor,
     MultiprocessingExecutor,
     SerialExecutor,
     make_executor,
 )
+from repro.campaign.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalReplay,
+    RunJournal,
+    read_journal,
+)
 from repro.campaign.observer import (
     CampaignObserver,
     CompositeObserver,
     ConsoleObserver,
+    InterruptingObserver,
     NullObserver,
     RecordingObserver,
 )
@@ -36,9 +54,19 @@ from repro.campaign.spec import (
     grid_spec,
     stable_hash,
 )
-from repro.campaign.trial import TrialResult, TrialSpec, cell_sequence, run_trial
+from repro.campaign.trial import (
+    TrialFailure,
+    TrialResult,
+    TrialSpec,
+    cell_sequence,
+    run_trial,
+    run_trial_guarded,
+)
 
 __all__ = [
+    "EXECUTOR_KINDS",
+    "JOURNAL_SCHEMA_VERSION",
+    "AsyncExecutor",
     "CampaignExecutor",
     "CampaignObserver",
     "CampaignResult",
@@ -46,23 +74,33 @@ __all__ = [
     "CellAggregate",
     "CompositeObserver",
     "ConsoleObserver",
+    "DistributedExecutor",
     "ExperimentCampaign",
+    "InterruptingObserver",
+    "JournalReplay",
     "LossSpec",
     "MultiprocessingExecutor",
     "NullObserver",
     "QrmSpec",
     "RecordingObserver",
+    "RunJournal",
     "ScenarioCell",
     "SerialExecutor",
+    "SubprocessWorkerTransport",
     "TrialCache",
+    "TrialFailure",
     "TrialResult",
     "TrialSpec",
+    "WorkerSpec",
+    "WorkerTransport",
     "aggregate_cell",
     "cell_sequence",
     "default_cache_dir",
     "grid_spec",
     "make_executor",
+    "read_journal",
     "run_campaign",
     "run_trial",
+    "run_trial_guarded",
     "stable_hash",
 ]

@@ -1,0 +1,208 @@
+"""Multi-host trial dispatch behind the executor protocol (skeleton).
+
+:class:`DistributedExecutor` fans trials out over a set of
+:class:`WorkerSpec` endpoints through a pluggable
+:class:`WorkerTransport`.  The transport shipped here,
+:class:`SubprocessWorkerTransport`, launches local
+``python -m repro.campaign.worker`` subprocesses and speaks the
+length-prefixed pickle frame protocol of :mod:`repro.campaign.worker` —
+the same protocol a TCP or ``multiprocessing.managers`` transport would
+speak to reach a remote host, which is the intended extension point:
+implement :class:`WorkerTransport` for your fabric and pass it as
+``transport_factory``.
+
+The executor contract matches :mod:`repro.campaign.executors`: results
+are yielded as ``(index, result)`` in completion order, and the engine
+re-keys them, so distribution never changes campaign aggregates.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence, TypeVar
+
+from repro.campaign.protocol import function_path, read_frame, write_frame
+from repro.errors import ConfigurationError, ExecutionError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One worker endpoint of a distributed campaign.
+
+    ``slots`` is how many independent worker processes the endpoint
+    contributes.  ``python`` and ``env`` parameterise how the worker
+    interpreter is launched; both only apply to transports that launch
+    processes themselves (the subprocess transport).  Non-local hosts
+    are carried for future TCP/SSH transports — the subprocess
+    transport rejects them.
+    """
+
+    host: str = "localhost"
+    slots: int = 1
+    python: str | None = None
+    env: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ConfigurationError(f"slots must be >= 1, got {self.slots}")
+
+    @property
+    def local(self) -> bool:
+        return self.host in ("localhost", "127.0.0.1", "::1")
+
+
+class WorkerTransport(Protocol):
+    """One bidirectional channel to one worker process.
+
+    Lifecycle: ``start(fn_path)`` once, then interleaved
+    ``submit``/``next_result`` calls, then ``close()``.  Implementations
+    must tolerate ``close()`` at any point (used for cancellation).
+    """
+
+    def start(self, fn_path: str) -> None: ...
+
+    def submit(self, index: int, item: Any) -> None: ...
+
+    def next_result(self) -> tuple[str, int, Any]: ...
+
+    def close(self) -> None: ...
+
+
+class SubprocessWorkerTransport:
+    """Local subprocess transport: one ``repro.campaign.worker`` child."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        if not spec.local:
+            raise ConfigurationError(
+                f"the subprocess transport only serves localhost, got "
+                f"host {spec.host!r}; plug a TCP transport in via "
+                f"transport_factory for remote workers"
+            )
+        self.spec = spec
+        self._process: subprocess.Popen | None = None
+
+    def start(self, fn_path: str) -> None:
+        import repro
+
+        env = dict(os.environ)
+        env.update(self.spec.env)
+        # Guarantee the child resolves the same `repro` package as the
+        # parent, however the parent found it (installed or src tree).
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        path = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not path else os.pathsep.join([package_root, path])
+        )
+        self._process = subprocess.Popen(
+            [self.spec.python or sys.executable, "-m", "repro.campaign.worker"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        write_frame(self._process.stdin, {"fn": fn_path})
+
+    def submit(self, index: int, item: Any) -> None:
+        assert self._process is not None, "transport not started"
+        write_frame(self._process.stdin, (index, item))
+
+    def next_result(self) -> tuple[str, int, Any]:
+        assert self._process is not None, "transport not started"
+        frame = read_frame(self._process.stdout)
+        if frame is None:
+            raise ExecutionError(
+                f"worker exited unexpectedly (rc={self._process.poll()})"
+            )
+        return frame
+
+    def close(self) -> None:
+        process, self._process = self._process, None
+        if process is None:
+            return
+        try:
+            process.stdin.close()
+            process.stdout.close()
+        except OSError:
+            pass
+        try:
+            process.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+@dataclass
+class DistributedExecutor:
+    """Fan trials out across worker endpoints (one in flight per slot).
+
+    The work function must be a module-level callable (it crosses the
+    transport as an import path) and the items must be picklable — the
+    same constraints the multiprocessing executor already imposes, and
+    which :func:`repro.campaign.trial.run_trial` satisfies.
+    """
+
+    workers: Sequence[WorkerSpec] = (WorkerSpec(),)
+    transport_factory: Callable[[WorkerSpec], WorkerTransport] = (
+        SubprocessWorkerTransport
+    )
+
+    def run(
+        self, fn: Callable[[T], Any], items: Sequence[T]
+    ) -> Iterator[tuple[int, Any]]:
+        items = list(items)
+        if not items:
+            return
+        fn_path = function_path(fn)
+        specs = [spec for spec in self.workers for _ in range(spec.slots)]
+        if not specs:
+            raise ConfigurationError("distributed dispatch needs >= 1 worker slot")
+        transports = [self.transport_factory(spec) for spec in specs[: len(items)]]
+
+        work: queue.SimpleQueue = queue.SimpleQueue()
+        for indexed in enumerate(items):
+            work.put(indexed)
+        for _ in transports:
+            work.put(None)  # one stop token per pump
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        stop = threading.Event()
+
+        def pump(transport: WorkerTransport) -> None:
+            try:
+                transport.start(fn_path)
+                while not stop.is_set():
+                    unit = work.get()
+                    if unit is None:
+                        return
+                    transport.submit(*unit)
+                    results.put(transport.next_result())
+            except Exception as exc:  # surfaced on the consumer thread
+                results.put(("transport-error", -1, f"{type(exc).__name__}: {exc}"))
+
+        threads = [
+            threading.Thread(target=pump, args=(transport,), daemon=True)
+            for transport in transports
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for _ in items:
+                status, index, payload = results.get()
+                if status == "ok":
+                    yield index, payload
+                elif status == "error":
+                    raise ExecutionError(f"trial {index} failed remotely: {payload}")
+                else:
+                    raise ExecutionError(f"worker transport failed: {payload}")
+        finally:
+            stop.set()
+            for transport in transports:
+                transport.close()
+            for thread in threads:
+                thread.join(timeout=5)

@@ -1,15 +1,16 @@
 """The campaign orchestrator.
 
 :class:`ExperimentCampaign` expands a spec into trials, serves what it
-can from the trial cache, dispatches the rest to an executor, and
-aggregates per-cell statistics in a fixed (cell, seed) order — so the
-same spec yields bit-identical aggregates whether trials ran serially,
-across a process pool, or out of the cache.
+can from a resumed run journal and the trial cache, dispatches the rest
+to an executor, and aggregates per-cell statistics in a fixed
+(cell, seed) order — so the same spec yields bit-identical aggregates
+whether trials ran serially, across a process pool, asynchronously,
+out of the cache, or replayed from an interrupted run's journal.
 
 The orchestration is deliberately free of infrastructure: executors,
-cache, and observer are injected behind small protocols and default to
-in-process, no-cache, silent implementations, so tests can substitute
-fakes without touching the loop.
+cache, observer, and journal are injected behind small protocols and
+default to in-process, no-cache, silent, unjournalled implementations,
+so tests can substitute fakes without touching the loop.
 """
 
 from __future__ import annotations
@@ -23,10 +24,16 @@ from repro.analysis.stats import FillStats, Summary
 from repro.analysis.tables import format_table, to_csv
 from repro.campaign.cache import TrialCache
 from repro.campaign.executors import CampaignExecutor, SerialExecutor
+from repro.campaign.journal import RunJournal
 from repro.campaign.observer import CampaignObserver, NullObserver
 from repro.campaign.spec import CampaignSpec, ScenarioCell
-from repro.campaign.trial import TrialResult, TrialSpec, run_trial
-from repro.errors import ConfigurationError
+from repro.campaign.trial import (
+    TrialFailure,
+    TrialResult,
+    TrialSpec,
+    run_trial_guarded,
+)
+from repro.errors import ConfigurationError, ExecutionError
 
 #: Metric column order for tables/CSV (only present metrics are shown).
 METRIC_ORDER = (
@@ -76,6 +83,7 @@ class CampaignResult:
     aggregates: list[CellAggregate] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    journal_replays: int = 0
     duration_s: float = 0.0
 
     @property
@@ -112,9 +120,7 @@ class CampaignResult:
         ordered.extend(sorted(present - set(ordered) - {"defect_free"}))
         return ordered
 
-    def _headers_and_rows(
-        self, stats: bool = False
-    ) -> tuple[list[str], list[list]]:
+    def _headers_and_rows(self, stats: bool = False) -> tuple[list[str], list[list]]:
         """Aggregate table content.
 
         With ``stats=True`` every metric expands into mean/std/min/max
@@ -187,8 +193,7 @@ def aggregate_cell(cell: ScenarioCell, results: Sequence[TrialResult]) -> CellAg
     """Summarise one cell's trial results (in seed order)."""
     names = sorted(results[0].metrics) if results else []
     metrics = {
-        name: Summary.of([result.metrics[name] for result in results])
-        for name in names
+        name: Summary.of([result.metrics[name] for result in results]) for name in names
     }
     return CellAggregate(cell=cell, trials=len(results), metrics=metrics)
 
@@ -202,11 +207,13 @@ class ExperimentCampaign:
         executor: CampaignExecutor | None = None,
         cache: TrialCache | None = None,
         observer: CampaignObserver | None = None,
+        journal: RunJournal | None = None,
     ) -> None:
         self.spec = spec
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.observer = observer if observer is not None else NullObserver()
+        self.journal = journal
 
     def trials(self) -> list[TrialSpec]:
         """Every (cell, seed) trial, in deterministic grid order."""
@@ -226,32 +233,79 @@ class ExperimentCampaign:
         trials = self.trials()
         keys = [trial.key() for trial in trials]
 
-        # Timing cells bypass the cache: their wall-clock metrics are
-        # measurements of *this* run and must never be served stale.
+        # Timing cells bypass both the cache and the journal replay:
+        # their wall-clock metrics are measurements of *this* run and
+        # must never be served stale.
         results: dict[str, TrialResult] = {}
-        if self.cache is not None:
+        n_replayed = 0
+        if self.journal is not None:
+            replay = self.journal.replay
+            if (
+                replay.spec_hash is not None
+                and replay.spec_hash != self.spec.spec_hash()
+            ):
+                raise ConfigurationError(
+                    f"journal {self.journal.path} records spec "
+                    f"{replay.spec_hash}, not {self.spec.spec_hash()} — "
+                    f"refusing to resume a different campaign"
+                )
             for trial, key in zip(trials, keys):
                 if trial.cell.timing:
+                    continue
+                replayed = replay.results.get(key)
+                if replayed is not None:
+                    results[key] = replayed
+                    n_replayed += 1
+        if self.cache is not None:
+            for trial, key in zip(trials, keys):
+                if trial.cell.timing or key in results:
                     continue
                 cached = self.cache.get(trial)
                 if cached is not None:
                     results[key] = cached
-        n_cached = len(results)
+        n_cached = len(results) - n_replayed
 
+        if self.journal is not None:
+            self.journal.record_started(
+                self.spec,
+                n_trials=len(trials),
+                n_cached=n_cached,
+                n_replayed=n_replayed,
+            )
         self.observer.campaign_started(
-            self.spec, n_trials=len(trials), n_cached=n_cached
+            self.spec, n_trials=len(trials), n_cached=n_cached + n_replayed
         )
         for trial, key in zip(trials, keys):
             if key in results:
+                if self.journal is not None and key not in self.journal.replay.results:
+                    self.journal.record_trial_finished(
+                        trial, results[key], from_cache=True
+                    )
                 self.observer.trial_completed(trial, results[key], from_cache=True)
 
         pending = [trial for trial, key in zip(trials, keys) if key not in results]
-        for index, result in self.executor.run(run_trial, pending):
+        if self.journal is not None:
+            # One started event per trial across all run segments: a
+            # resumed journal doesn't re-announce what it already holds.
+            already = self.journal.replay.started_keys
+            for trial in pending:
+                if trial.key() not in already:
+                    self.journal.record_trial_started(trial)
+        for index, outcome in self.executor.run(run_trial_guarded, pending):
             trial = pending[index]
-            results[trial.key()] = result
+            if isinstance(outcome, TrialFailure):
+                if self.journal is not None:
+                    self.journal.record_trial_error(trial, outcome.error)
+                raise ExecutionError(
+                    f"trial {trial.cell.label()!r} (seed {trial.seed_index}) "
+                    f"failed: {outcome.error}"
+                )
+            results[trial.key()] = outcome
             if self.cache is not None and not trial.cell.timing:
-                self.cache.put(trial, result)
-            self.observer.trial_completed(trial, result, from_cache=False)
+                self.cache.put(trial, outcome)
+            if self.journal is not None:
+                self.journal.record_trial_finished(trial, outcome, from_cache=False)
+            self.observer.trial_completed(trial, outcome, from_cache=False)
 
         aggregates: list[CellAggregate] = []
         n_seeds = self.spec.n_seeds
@@ -259,6 +313,8 @@ class ExperimentCampaign:
             cell_keys = keys[cell_index * n_seeds : (cell_index + 1) * n_seeds]
             cell_results = [results[key] for key in cell_keys]
             aggregate = aggregate_cell(cell, cell_results)
+            if self.journal is not None:
+                self.journal.record_checkpoint(cell, aggregate)
             self.observer.cell_completed(cell, aggregate)
             aggregates.append(aggregate)
 
@@ -267,8 +323,11 @@ class ExperimentCampaign:
             aggregates=aggregates,
             cache_hits=n_cached,
             cache_misses=len(pending),
+            journal_replays=n_replayed,
             duration_s=time.perf_counter() - started,
         )
+        if self.journal is not None:
+            self.journal.record_completed(result)
         self.observer.campaign_completed(result)
         return result
 
@@ -278,8 +337,9 @@ def run_campaign(
     executor: CampaignExecutor | None = None,
     cache: TrialCache | None = None,
     observer: CampaignObserver | None = None,
+    journal: RunJournal | None = None,
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`ExperimentCampaign`."""
     return ExperimentCampaign(
-        spec, executor=executor, cache=cache, observer=observer
+        spec, executor=executor, cache=cache, observer=observer, journal=journal
     ).run()

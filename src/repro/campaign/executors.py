@@ -3,20 +3,36 @@
 The engine hands an executor a picklable function and a list of items;
 the executor yields ``(index, result)`` pairs in whatever order the
 trials finish.  The engine re-keys results, so completion order never
-affects aggregates — which is what lets the serial and multiprocessing
-executors produce bit-identical campaign results.
+affects aggregates — which is what lets the serial, multiprocessing,
+and async executors produce bit-identical campaign results.
+
+Three in-process families live here:
+
+* :class:`SerialExecutor` — submission order, no concurrency;
+* :class:`MultiprocessingExecutor` — ``multiprocessing.Pool`` fan-out;
+* :class:`AsyncExecutor` — asyncio-driven process-pool fan-out with a
+  bounded number of in-flight trials (backpressure) and cooperative
+  cancellation when the consumer stops iterating.
+
+Multi-host dispatch lives in :mod:`repro.campaign.dispatch` behind the
+same protocol.
 """
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Protocol, Sequence, TypeVar
+from typing import Any, AsyncIterator, Callable, Iterator, Protocol, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
 
 T = TypeVar("T")
+
+#: Executor kinds accepted by :func:`make_executor` and the CLI.
+EXECUTOR_KINDS = ("serial", "process", "async")
 
 
 class CampaignExecutor(Protocol):
@@ -90,8 +106,124 @@ class MultiprocessingExecutor:
             )
 
 
-def make_executor(workers: int | None, chunksize: int = 1) -> CampaignExecutor:
-    """CLI helper: 0/1/None workers → serial, otherwise a pool."""
+@dataclass
+class AsyncExecutor:
+    """``asyncio``-driven process-pool fan-out with backpressure.
+
+    Trials run in a ``concurrent.futures.ProcessPoolExecutor``; an
+    asyncio event loop owns submission and completion.  At most
+    ``max_in_flight`` trials are submitted to the pool at any moment (a
+    semaphore provides the backpressure bound), results are yielded in
+    completion order, and closing the result iterator early — or an
+    exception escaping a trial — cancels every outstanding submission
+    and shuts the pool down.
+
+    The synchronous :meth:`run` drives a private event loop so the
+    executor slots behind the same :class:`CampaignExecutor` protocol
+    as the serial and multiprocessing executors; async callers can
+    consume :meth:`arun` directly from their own loop.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size; defaults to the CPU count, capped at the
+        number of items.
+    max_in_flight:
+        Bound on concurrently submitted trials; defaults to twice the
+        worker count, which keeps every worker busy without flooding
+        the pool queue when trials are produced faster than they run.
+    start_method:
+        Forwarded to ``multiprocessing.get_context`` (None = platform
+        default).
+    """
+
+    workers: int | None = None
+    max_in_flight: int | None = None
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ConfigurationError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+
+    def _pool_size(self, n_items: int) -> int:
+        workers = self.workers or os.cpu_count() or 1
+        return max(1, min(workers, n_items))
+
+    async def arun(
+        self, fn: Callable[[T], Any], items: Sequence[T]
+    ) -> AsyncIterator[tuple[int, Any]]:
+        """Async variant of :meth:`run` for callers that own a loop."""
+        items = list(items)
+        if not items:
+            return
+        workers = self._pool_size(len(items))
+        bound = self.max_in_flight or 2 * workers
+        loop = asyncio.get_running_loop()
+        context = multiprocessing.get_context(self.start_method)
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        )
+        semaphore = asyncio.Semaphore(bound)
+
+        async def submit(index: int, item: T) -> tuple[int, Any]:
+            async with semaphore:
+                return index, await loop.run_in_executor(pool, fn, item)
+
+        tasks = [loop.create_task(submit(i, item)) for i, item in enumerate(items)]
+        try:
+            for future in asyncio.as_completed(tasks):
+                yield await future
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def run(
+        self, fn: Callable[[T], Any], items: Sequence[T]
+    ) -> Iterator[tuple[int, Any]]:
+        items = list(items)
+        if not items:
+            return
+        if self._pool_size(len(items)) == 1:
+            yield from SerialExecutor().run(fn, items)
+            return
+        loop = asyncio.new_event_loop()
+        stream = self.arun(fn, items)
+        try:
+            while True:
+                try:
+                    yield loop.run_until_complete(stream.__anext__())
+                except StopAsyncIteration:
+                    break
+        finally:
+            loop.run_until_complete(stream.aclose())
+            loop.close()
+
+
+def make_executor(
+    workers: int | None, chunksize: int = 1, kind: str = "process"
+) -> CampaignExecutor:
+    """CLI helper mapping ``--workers``/``--executor`` to an executor.
+
+    ``kind`` is one of :data:`EXECUTOR_KINDS`.  For the default
+    ``"process"`` kind, 0/1/None workers degrade to the serial executor
+    (the pre-async CLI behaviour); ``"async"`` always builds an
+    :class:`AsyncExecutor`, whose worker count defaults to the CPU
+    count when ``workers`` is None.
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ConfigurationError(
+            f"unknown executor kind '{kind}'; choose from {EXECUTOR_KINDS}"
+        )
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "async":
+        return AsyncExecutor(workers=workers)
     if workers is None or workers <= 1:
         return SerialExecutor()
     return MultiprocessingExecutor(workers=workers, chunksize=chunksize)

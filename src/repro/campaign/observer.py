@@ -132,6 +132,43 @@ class RecordingObserver:
         self.events.append(("campaign_completed", {"result": result}))
 
 
+class InterruptingObserver:
+    """Raises ``KeyboardInterrupt`` after N *executed* trials complete.
+
+    The deterministic stand-in for a SIGINT arriving mid-run: the
+    engine journals each trial before notifying observers, so the
+    interrupt fires at exactly the same recovery point a real signal
+    between trials N and N+1 would leave behind.  Cached and replayed
+    completions don't count — only freshly executed ones.  Used by the
+    ``repro campaign --interrupt-after`` test hook and the CI
+    interrupt/resume smoke job.
+    """
+
+    def __init__(self, after: int) -> None:
+        from repro.errors import ConfigurationError
+
+        if after < 1:
+            raise ConfigurationError(f"interrupt-after must be >= 1, got {after}")
+        self.after = after
+        self.executed = 0
+
+    def campaign_started(self, spec, n_trials, n_cached) -> None:
+        pass
+
+    def trial_completed(self, trial, result, from_cache) -> None:
+        if from_cache:
+            return
+        self.executed += 1
+        if self.executed >= self.after:
+            raise KeyboardInterrupt(f"interrupted after {self.executed} trials")
+
+    def cell_completed(self, cell, aggregate) -> None:
+        pass
+
+    def campaign_completed(self, result) -> None:
+        pass
+
+
 class CompositeObserver:
     """Fans every event out to several observers, in order."""
 

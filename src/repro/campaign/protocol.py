@@ -1,0 +1,70 @@
+"""Frame protocol shared by the dispatch client and the worker.
+
+Length-prefixed pickle frames over a byte stream: one unsigned
+big-endian 32-bit payload length, then the pickled payload.  The
+handshake frame names the work function as a ``"module:qualname"``
+import path; work frames are ``(index, item)``; result frames are
+``("ok", index, result)`` or ``("error", index, message)``.
+
+Lives apart from :mod:`repro.campaign.worker` so that importing the
+campaign package (which pulls in the dispatch client) never pre-imports
+the worker's ``__main__`` module.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+import struct
+from typing import Any, BinaryIO, Callable
+
+from repro.errors import ConfigurationError
+
+#: Frame header: one unsigned big-endian 32-bit payload length.
+_HEADER = struct.Struct(">I")
+
+
+def write_frame(stream: BinaryIO, payload: Any) -> None:
+    """Pickle ``payload`` and write it as one length-prefixed frame."""
+    data = pickle.dumps(payload)
+    stream.write(_HEADER.pack(len(data)))
+    stream.write(data)
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> Any:
+    """Read one frame, or None on a clean EOF at a frame boundary."""
+    header = stream.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise EOFError("truncated frame header")
+    (length,) = _HEADER.unpack(header)
+    data = stream.read(length)
+    if len(data) < length:
+        raise EOFError("truncated frame payload")
+    return pickle.loads(data)
+
+
+def resolve_function(path: str) -> Callable:
+    """Import ``"module:qualname"`` back into a callable."""
+    module_name, _, qualname = path.partition(":")
+    if not module_name or not qualname:
+        raise ConfigurationError(f"malformed function path {path!r}")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise ConfigurationError(f"{path!r} does not name a callable")
+    return obj
+
+
+def function_path(fn: Callable) -> str:
+    """The import path of a module-level callable (for the handshake)."""
+    qualname = getattr(fn, "__qualname__", "")
+    module = getattr(fn, "__module__", "")
+    if not module or not qualname or "<" in qualname:
+        raise ConfigurationError(
+            f"distributed dispatch needs a module-level function, got {fn!r}"
+        )
+    return f"{module}:{qualname}"

@@ -77,6 +77,28 @@ class TrialResult:
         return cls(key=data["key"], metrics=dict(data["metrics"]))
 
 
+@dataclass(frozen=True)
+class TrialFailure:
+    """A trial raised instead of producing metrics.
+
+    Crossing the executor boundary as a value (rather than an
+    exception) lets the engine journal the failure against the right
+    trial before aborting the campaign — a raw exception out of
+    ``imap_unordered`` has already lost the trial index.
+    """
+
+    key: str
+    error: str
+
+
+def run_trial_guarded(trial: TrialSpec) -> "TrialResult | TrialFailure":
+    """:func:`run_trial`, with exceptions captured as :class:`TrialFailure`."""
+    try:
+        return run_trial(trial)
+    except Exception as exc:
+        return TrialFailure(key=trial.key(), error=f"{type(exc).__name__}: {exc}")
+
+
 def run_trial(trial: TrialSpec) -> TrialResult:
     """Execute one trial and return its metrics.
 

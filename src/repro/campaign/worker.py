@@ -1,0 +1,56 @@
+"""Subprocess worker endpoint for distributed trial dispatch.
+
+``python -m repro.campaign.worker`` speaks the length-prefixed pickle
+frame protocol of :mod:`repro.campaign.protocol` over stdin/stdout:
+
+* the first inbound frame names the work function as an import path
+  (``"module:qualname"``, e.g. ``"repro.campaign.trial:run_trial"``);
+* every following inbound frame is one ``(index, item)`` work unit;
+* every outbound frame is ``("ok", index, result)`` or
+  ``("error", index, message)``;
+* EOF on stdin ends the worker.
+
+The worker never lets user code write to the frame stream: ``sys.stdout``
+is rebound to stderr while serving, so a chatty trial function cannot
+corrupt the protocol.  :mod:`repro.campaign.dispatch` is the client side.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+from typing import BinaryIO
+
+from repro.campaign.protocol import read_frame, resolve_function, write_frame
+
+
+def serve(stdin: BinaryIO, stdout: BinaryIO) -> int:
+    """Run the worker loop until EOF; returns the number of work units."""
+    handshake = read_frame(stdin)
+    if handshake is None:
+        return 0
+    fn = resolve_function(handshake["fn"])
+    served = 0
+    while True:
+        frame = read_frame(stdin)
+        if frame is None:
+            return served
+        index, item = frame
+        try:
+            result = fn(item)
+        except Exception as exc:  # forwarded, not fatal to the worker
+            write_frame(stdout, ("error", index, f"{type(exc).__name__}: {exc}"))
+        else:
+            write_frame(stdout, ("ok", index, result))
+        served += 1
+
+
+def main() -> int:
+    stdout = sys.stdout.buffer
+    with contextlib.redirect_stdout(sys.stderr):
+        serve(sys.stdin.buffer, stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ Examples::
     repro campaign --sizes 20 30 --fills 0.5 0.6 --algorithms qrm tetris \\
         --seeds 25 --workers 4 --csv campaign.csv
     repro campaign --spec my_campaign.json --workers 8
+    repro campaign --seeds 100 --workers 4 --executor async \\
+        --journal run.jsonl
+    repro campaign --resume run.jsonl
     repro resources --size 90
     repro trace --size 10
     repro algorithms
@@ -211,15 +214,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     from repro.campaign import (
         CampaignSpec,
+        CompositeObserver,
         ConsoleObserver,
         ExperimentCampaign,
+        InterruptingObserver,
         LossSpec,
         NullObserver,
+        RunJournal,
         TrialCache,
         make_executor,
     )
 
-    if args.spec:
+    if args.resume and (args.spec or args.journal):
+        print(
+            "--resume reconstructs the spec and journal path from the "
+            "journal file; drop --spec/--journal",
+            file=sys.stderr,
+        )
+        return 2
+
+    journal = None
+    if args.resume:
+        journal_path = Path(args.resume)
+        if not journal_path.is_file():
+            print(f"journal file not found: {journal_path}", file=sys.stderr)
+            return 2
+        journal = RunJournal.resume(journal_path)
+        spec = journal.replay.spec
+        if spec is None:
+            print(
+                f"journal {journal_path} has no campaign_started record "
+                f"to resume from",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.spec:
         spec_path = Path(args.spec)
         if not spec_path.is_file():
             print(f"spec file not found: {spec_path}", file=sys.stderr)
@@ -254,18 +283,51 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
         return 2
 
+    if journal is None and args.journal:
+        journal = RunJournal.fresh(args.journal)
+
+    observer = NullObserver() if args.quiet else ConsoleObserver()
+    if args.interrupt_after is not None:
+        observer = CompositeObserver(
+            [observer, InterruptingObserver(args.interrupt_after)]
+        )
+
     cache = None if args.no_cache else TrialCache(args.cache_dir)
     campaign = ExperimentCampaign(
         spec,
-        executor=make_executor(args.workers, args.chunksize),
+        executor=make_executor(args.workers, args.chunksize, kind=args.executor),
         cache=cache,
-        observer=NullObserver() if args.quiet else ConsoleObserver(),
+        observer=observer,
+        journal=journal,
     )
-    result = campaign.run()
+    try:
+        result = campaign.run()
+    except KeyboardInterrupt:
+        if journal is not None:
+            print(
+                f"[campaign interrupted — resume with: "
+                f"repro campaign --resume {journal.path}]",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "[campaign interrupted — re-run with --journal to make "
+                "runs resumable]",
+                file=sys.stderr,
+            )
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
     print(result.format_table(stats=args.stats))
+    replayed = (
+        f", {result.journal_replays} replayed from journal"
+        if journal is not None
+        else ""
+    )
     print(
-        f"[{result.cache_hits}/{result.n_trials} trials from cache, "
-        f"{result.duration_s:.2f}s]"
+        f"[{result.cache_hits}/{result.n_trials} trials from cache"
+        f"{replayed}, {result.duration_s:.2f}s]"
     )
     if args.csv:
         path = result.write_csv(args.csv, stats=args.stats)
@@ -290,15 +352,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--algorithm", default="qrm", choices=list_algorithms())
     p.add_argument("--render", action="store_true")
-    p.add_argument("--fpga", action="store_true",
-                   help="also run the FPGA cycle model (qrm only)")
+    p.add_argument(
+        "--fpga", action="store_true", help="also run the FPGA cycle model (qrm only)"
+    )
     p.set_defaults(func=_cmd_rearrange)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument(
         "which",
-        choices=["7a", "7b", "8", "headline", "ablation", "success",
-                 "workflow", "loss", "all"],
+        choices=[
+            "7a",
+            "7b",
+            "8",
+            "headline",
+            "ablation",
+            "success",
+            "workflow",
+            "loss",
+            "all",
+        ],
     )
     p.add_argument("--trials", type=int, default=3)
     p.set_defaults(func=_cmd_figure)
@@ -312,24 +384,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fill", type=float, default=0.5)
     p.set_defaults(func=_cmd_feasibility)
 
-    p = sub.add_parser(
-        "timeline", help="FIFO-occupancy timeline of one iteration"
-    )
+    p = sub.add_parser("timeline", help="FIFO-occupancy timeline of one iteration")
     p.add_argument("--size", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--iteration", type=int, default=0)
     p.set_defaults(func=_cmd_timeline)
 
-    p = sub.add_parser(
-        "sweep", help="QRM assembly-quality sweep over size x fill"
-    )
+    p = sub.add_parser("sweep", help="QRM assembly-quality sweep over size x fill")
     p.add_argument("--sizes", type=int, nargs="+", default=[20, 30])
     p.add_argument("--fills", type=float, nargs="+", default=[0.5, 0.6])
     p.add_argument("--trials", type=int, default=3)
-    p.add_argument("--workers", type=int, default=1,
-                   help="trial-execution processes (1 = in-process)")
-    p.add_argument("--csv", type=str, default=None,
-                   help="also write the sweep to this CSV file")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="trial-execution processes (1 = in-process)",
+    )
+    p.add_argument(
+        "--csv", type=str, default=None, help="also write the sweep to this CSV file"
+    )
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -342,42 +415,110 @@ def build_parser() -> argparse.ArgumentParser:
             "aggregate table."
         ),
     )
-    p.add_argument("--spec", type=str, default=None,
-                   help="load the campaign spec from this JSON file")
+    p.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        help="load the campaign spec from this JSON file",
+    )
+    p.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        help="record an append-only JSONL run journal at this "
+        "path (starts fresh; see --resume)",
+    )
+    p.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        help="resume an interrupted campaign from its journal: "
+        "the spec is reconstructed from the journal, "
+        "finished trials replay, and only the remainder "
+        "executes (appends to the same journal)",
+    )
     p.add_argument("--name", type=str, default="cli")
-    p.add_argument("--algorithms", nargs="+", default=["qrm"],
-                   metavar="ALGO")
+    p.add_argument("--algorithms", nargs="+", default=["qrm"], metavar="ALGO")
     p.add_argument("--sizes", type=int, nargs="+", default=[20])
     p.add_argument("--fills", type=float, nargs="+", default=[0.5])
-    p.add_argument("--seeds", type=int, default=5,
-                   help="trials per grid cell")
-    p.add_argument("--seed", type=int, default=0,
-                   help="master seed for the per-trial RNG streams")
-    p.add_argument("--fpga", action="store_true",
-                   help="add FPGA cycle-model metrics (qrm cells only)")
-    p.add_argument("--timing", action="store_true",
-                   help="add measured Python wall-clock metrics "
-                        "(non-deterministic)")
-    p.add_argument("--loss", action="store_true",
-                   help="replay schedules through the default atom-loss "
-                        "model")
-    p.add_argument("--workers", type=int, default=1,
-                   help="trial-execution processes (1 = in-process)")
-    p.add_argument("--chunksize", type=int, default=1,
-                   help="trials dispatched to a worker at a time")
-    p.add_argument("--cache-dir", type=str, default=None,
-                   help="trial cache directory (default: "
-                        "$REPRO_CACHE_DIR or .repro-cache/campaigns)")
-    p.add_argument("--no-cache", action="store_true",
-                   help="do not read or write the trial cache")
-    p.add_argument("--csv", type=str, default=None,
-                   help="also write the aggregate table to this CSV file")
-    p.add_argument("--stats", action="store_true",
-                   help="expand every metric into mean/std/min/max columns")
-    p.add_argument("--dump-spec", action="store_true",
-                   help="print the expanded spec as JSON and exit")
-    p.add_argument("--quiet", action="store_true",
-                   help="suppress progress output")
+    p.add_argument("--seeds", type=int, default=5, help="trials per grid cell")
+    p.add_argument(
+        "--seed", type=int, default=0, help="master seed for the per-trial RNG streams"
+    )
+    p.add_argument(
+        "--fpga",
+        action="store_true",
+        help="add FPGA cycle-model metrics (qrm cells only)",
+    )
+    p.add_argument(
+        "--timing",
+        action="store_true",
+        help="add measured Python wall-clock metrics "
+        "(non-deterministic)",
+    )
+    p.add_argument(
+        "--loss",
+        action="store_true",
+        help="replay schedules through the default atom-loss "
+        "model",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="trial-execution processes (default: in-process for "
+        "--executor process, the CPU count for --executor async)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=["serial", "process", "async"],
+        default="process",
+        help="execution backend: 'process' (default; serial "
+        "when --workers <= 1), 'async' (asyncio-driven "
+        "pool with bounded in-flight trials), or 'serial'",
+    )
+    p.add_argument(
+        "--chunksize",
+        type=int,
+        default=1,
+        help="trials dispatched to a worker at a time",
+    )
+    p.add_argument(
+        "--interrupt-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="(testing) raise KeyboardInterrupt after N "
+        "executed trials — exercises the journal "
+        "interrupt/resume path deterministically",
+    )
+    p.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="trial cache directory (default: "
+        "$REPRO_CACHE_DIR or .repro-cache/campaigns)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="do not read or write the trial cache"
+    )
+    p.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        help="also write the aggregate table to this CSV file",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="expand every metric into mean/std/min/max columns",
+    )
+    p.add_argument(
+        "--dump-spec",
+        action="store_true",
+        help="print the expanded spec as JSON and exit",
+    )
+    p.add_argument("--quiet", action="store_true", help="suppress progress output")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser(
@@ -390,30 +531,65 @@ def build_parser() -> argparse.ArgumentParser:
             "vectorisation speedup) to a BENCH_*.json file."
         ),
     )
-    p.add_argument("--sizes", type=int, nargs="+", default=None,
-                   help="array widths to benchmark (default 32 64 128)")
-    p.add_argument("--fills", type=float, nargs="+", default=None,
-                   help="loading fills to benchmark (default 0.3 0.5 0.7)")
-    p.add_argument("--algorithms", nargs="+", default=None, metavar="ALGO",
-                   help="schedulers to time (default qrm tetris psca mta1)")
-    p.add_argument("--trials", type=int, default=None,
-                   help="seeded trials per case (default 3)")
-    p.add_argument("--seed", type=int, default=0,
-                   help="master seed for the per-trial loads")
-    p.add_argument("--out", type=str, default="BENCH_qrm.json",
-                   help="output JSON path (default ./BENCH_qrm.json)")
-    p.add_argument("--speedup-size", type=int, default=None,
-                   help="array width for the QRM before/after block "
-                        "(default 64, or 32 with --smoke)")
-    p.add_argument("--no-speedup", action="store_true",
-                   help="skip the QRM before/after speedup block")
-    p.add_argument("--no-size-caps", action="store_true",
-                   help="also run slow baselines above their default "
-                        "size caps (mta1 at 128 takes ~1 minute/trial)")
-    p.add_argument("--smoke", action="store_true",
-                   help="small fast grid for CI (qrm+tetris at 16/32)")
-    p.add_argument("--quiet", action="store_true",
-                   help="suppress per-case progress on stderr")
+    p.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="array widths to benchmark (default 32 64 128)",
+    )
+    p.add_argument(
+        "--fills",
+        type=float,
+        nargs="+",
+        default=None,
+        help="loading fills to benchmark (default 0.3 0.5 0.7)",
+    )
+    p.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        metavar="ALGO",
+        help="schedulers to time (default qrm tetris psca mta1)",
+    )
+    p.add_argument(
+        "--trials", type=int, default=None, help="seeded trials per case (default 3)"
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="master seed for the per-trial loads"
+    )
+    p.add_argument(
+        "--out",
+        type=str,
+        default="BENCH_qrm.json",
+        help="output JSON path (default ./BENCH_qrm.json)",
+    )
+    p.add_argument(
+        "--speedup-size",
+        type=int,
+        default=None,
+        help="array width for the QRM before/after block "
+        "(default 64, or 32 with --smoke)",
+    )
+    p.add_argument(
+        "--no-speedup",
+        action="store_true",
+        help="skip the QRM before/after speedup block",
+    )
+    p.add_argument(
+        "--no-size-caps",
+        action="store_true",
+        help="also run slow baselines above their default "
+        "size caps (mta1 at 128 takes ~1 minute/trial)",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast grid for CI (qrm+tetris at 16/32)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress on stderr"
+    )
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("resources", help="FPGA resource estimate")

@@ -264,8 +264,13 @@ def run_pass_reference(
                     outcome.n_skipped_stale += 1
                     continue
                 if not _span_has_atom(
-                    grid, state.frame, phase, state.line, cur,
-                    state.executed, state.n_positions,
+                    grid,
+                    state.frame,
+                    phase,
+                    state.line,
+                    cur,
+                    state.executed,
+                    state.n_positions,
                 ):
                     state.next_index += 1
                     outcome.n_skipped_empty += 1
@@ -292,8 +297,12 @@ def run_pass_reference(
                     for state, cur in members:
                         shifts.append(
                             _span_to_shift(
-                                state.frame, phase, state.line, cur,
-                                state.executed, state.n_positions,
+                                state.frame,
+                                phase,
+                                state.line,
+                                cur,
+                                state.executed,
+                                state.n_positions,
                             )
                         )
                         state.next_index += 1
@@ -580,9 +589,7 @@ def run_pass(
     read the live grid exactly as the reference does.
     """
     outcome = PassOutcome(phase=phase)
-    table, scans = _build_command_table(
-        outcome, frames, phase, scan_source, scan_limit
-    )
+    table, scans = _build_command_table(outcome, frames, phase, scan_source, scan_limit)
     if table is None:
         return outcome
     grid = array.grid
@@ -603,7 +610,9 @@ def run_pass(
         a = span_base + span_sign * (cur + 1)
         b = span_base + span_sign * (table.n_positions[state_of] - round_of - 1)
         _emit_round_groups(
-            outcome, phase, merge_mirror,
+            outcome,
+            phase,
+            merge_mirror,
             round_of=round_of,
             dir_rank=table.dir_rank[state_of],
             cur=cur,
@@ -629,9 +638,7 @@ def run_pass(
         # States with more than round_index commands form a prefix of
         # the depth-sorted table.
         m = int(np.searchsorted(depth_desc, -round_index, side="left"))
-        cur = (
-            table.holes_flat[table.offsets[:m] + round_index] - executed[:m]
-        )
+        cur = (table.holes_flat[table.offsets[:m] + round_index] - executed[:m])
 
         # Stale commands: the hole was filled by an earlier move.
         span_coord = table.span_base[:m] + table.span_sign[:m] * cur
@@ -707,7 +714,9 @@ def run_pass(
     if survivors:
         columns = [np.concatenate(parts) for parts in zip(*survivors)]
         _emit_round_groups(
-            outcome, phase, merge_mirror,
+            outcome,
+            phase,
+            merge_mirror,
             round_of=columns[0],
             dir_rank=columns[1],
             cur=columns[2],

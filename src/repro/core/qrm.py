@@ -56,16 +56,12 @@ class QrmScheduler:
         self.geometry = geometry
         self.params = params
         self.pass_runner = pass_runner
-        self.frames = {
-            q: geometry.quadrant_frame(q) for q in Quadrant
-        }
+        self.frames = {q: geometry.quadrant_frame(q) for q in Quadrant}
 
     def schedule(self, array: AtomArray) -> RearrangementResult:
         """Analyse ``array`` and produce the full movement schedule."""
         if array.geometry != self.geometry:
-            raise ValueError(
-                "array geometry does not match the scheduler's geometry"
-            )
+            raise ValueError("array geometry does not match the scheduler's geometry")
         t_start = time.perf_counter()
         live = array.copy()
         moves = MoveSchedule(self.geometry, algorithm=self.name)

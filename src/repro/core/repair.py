@@ -110,9 +110,7 @@ def _legs_for(
     return None
 
 
-def repair_defects_reference(
-    array: AtomArray, max_moves: int = 4096
-) -> RepairOutcome:
+def repair_defects_reference(array: AtomArray, max_moves: int = 4096) -> RepairOutcome:
     """Per-defect, per-candidate reference implementation.
 
     Kept as the oracle the vectorised :func:`repair_defects` is
@@ -134,13 +132,9 @@ def repair_defects_reference(
             outcome.unresolved += 1
             continue
         reservoir = [
-            site
-            for site in array.occupied_sites()
-            if not target.contains(*site)
+            site for site in array.occupied_sites() if not target.contains(*site)
         ]
-        reservoir.sort(
-            key=lambda rc: abs(rc[0] - defect[0]) + abs(rc[1] - defect[1])
-        )
+        reservoir.sort(key=lambda rc: abs(rc[0] - defect[0]) + abs(rc[1] - defect[1]))
         routed = False
         for source in reservoir:
             legs = _legs_for(grid, source, defect)
@@ -199,9 +193,7 @@ def repair_defects(array: AtomArray, max_moves: int = 4096) -> RepairOutcome:
     defects = np.argwhere(~block)
     if defects.size:
         defects += (target.row0, target.col0)
-        dist = np.abs(defects[:, 0] - centre[0]) + np.abs(
-            defects[:, 1] - centre[1]
-        )
+        dist = np.abs(defects[:, 0] - centre[0]) + np.abs(defects[:, 1] - centre[1])
         defects = defects[np.argsort(dist, kind="stable")]
 
     outside_target = np.ones(grid.shape, dtype=bool)
@@ -240,13 +232,13 @@ def repair_defects(array: AtomArray, max_moves: int = 4096) -> RepairOutcome:
         to_col = np.full(rows.shape, dc)
         to_row = np.full(rows.shape, dr)
         # Row first: (r0,c0) -> (r0,dc) -> (dr,dc)
-        row_first = (
-            _segment_counts(row_prefix, rows, cols, to_col) == 0
-        ) & (_segment_counts(col_prefix, to_col, rows, to_row) == 0)
+        row_first = (_segment_counts(row_prefix, rows, cols, to_col) == 0) & (
+            _segment_counts(col_prefix, to_col, rows, to_row) == 0
+        )
         # Column first: (r0,c0) -> (dr,c0) -> (dr,dc)
-        col_first = (
-            _segment_counts(col_prefix, cols, rows, to_row) == 0
-        ) & (_segment_counts(row_prefix, to_row, cols, to_col) == 0)
+        col_first = (_segment_counts(col_prefix, cols, rows, to_row) == 0) & (
+            _segment_counts(row_prefix, to_row, cols, to_col) == 0
+        )
         routable = np.nonzero(row_first | col_first)[0]
         if not routable.size:
             outcome.unresolved += 1

@@ -86,9 +86,7 @@ class TypicalScheduler:
         for hole_col in sorted(east_groups):
             rows = east_groups[hole_col]
             shifts = [
-                LineShift(
-                    Direction.WEST, r, span_start=hole_col + 1, span_stop=width
-                )
+                LineShift(Direction.WEST, r, span_start=hole_col + 1, span_stop=width)
                 for r in rows
             ]
             move = ParallelMove.of(shifts, tag=f"typical-W-h{hole_col}")
@@ -126,9 +124,7 @@ class TypicalScheduler:
         for hole_row in sorted(south_groups):
             cols = south_groups[hole_row]
             shifts = [
-                LineShift(
-                    Direction.NORTH, c, span_start=hole_row + 1, span_stop=height
-                )
+                LineShift(Direction.NORTH, c, span_start=hole_row + 1, span_stop=height)
                 for c in cols
             ]
             move = ParallelMove.of(shifts, tag=f"typical-N-h{hole_row}")
@@ -141,9 +137,7 @@ class TypicalScheduler:
 
     def schedule(self, array: AtomArray) -> RearrangementResult:
         if array.geometry != self.geometry:
-            raise ValueError(
-                "array geometry does not match the scheduler's geometry"
-            )
+            raise ValueError("array geometry does not match the scheduler's geometry")
         t_start = time.perf_counter()
         live = array.copy()
         moves = MoveSchedule(self.geometry, algorithm=self.name)

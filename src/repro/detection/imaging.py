@@ -25,9 +25,7 @@ def expected_image(
     impulses = np.zeros(shape, dtype=float)
     centre = pps // 2
     rows, cols = np.nonzero(array.grid)
-    impulses[rows * pps + centre, cols * pps + centre] = (
-        camera.photons_per_atom
-    )
+    impulses[rows * pps + centre, cols * pps + centre] = (camera.photons_per_atom)
     kernel = gaussian_kernel(camera.psf_sigma_px)
     photons = convolve2d_same(impulses, kernel) + camera.background_per_px
     return photons * camera.quantum_efficiency

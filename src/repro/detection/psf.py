@@ -30,9 +30,7 @@ def convolve2d_same(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
     """Same-size 2-D convolution via FFT (kernel centred)."""
     kh, kw = kernel.shape
     ih, iw = image.shape
-    padded = np.zeros(
-        (ih + kh - 1, iw + kw - 1), dtype=float
-    )
+    padded = np.zeros((ih + kh - 1, iw + kw - 1), dtype=float)
     padded[:ih, :iw] = image
     spec = np.fft.rfft2(padded) * np.fft.rfft2(kernel, s=padded.shape)
     full = np.fft.irfft2(spec, s=padded.shape)

@@ -36,6 +36,10 @@ class ScheduleValidationError(ReproError):
     """A full schedule failed validation against its initial array."""
 
 
+class ExecutionError(ReproError):
+    """A campaign trial (or its worker transport) failed while running."""
+
+
 class SimulationError(ReproError):
     """The FPGA cycle-level simulation reached an inconsistent state."""
 

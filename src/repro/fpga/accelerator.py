@@ -123,9 +123,7 @@ class QrmAccelerator:
         config: FpgaConfig = DEFAULT_FPGA_CONFIG,
     ):
         if geometry.width != geometry.height:
-            raise SimulationError(
-                "the accelerator model assumes a square array"
-            )
+            raise SimulationError("the accelerator model assumes a square array")
         self.geometry = geometry
         self.params = params
         self.config = config
@@ -136,9 +134,7 @@ class QrmAccelerator:
 
     # -- cycle model -------------------------------------------------------
 
-    def _simulate_iteration(
-        self, row_pass, col_pass, trace_every: int | None = None
-    ):
+    def _simulate_iteration(self, row_pass, col_pass, trace_every: int | None = None):
         """Run the Fig. 5 dataflow for one iteration; returns cycle stats."""
         config = self.config
         qw = self.geometry.half_width
@@ -159,9 +155,7 @@ class QrmAccelerator:
             out=merged,
             per_cycle=config.combiner_per_cycle,
         )
-        combiner.set_upstream_done(
-            lambda: all(lane.recorder.done for lane in lanes)
-        )
+        combiner.set_upstream_done(lambda: all(lane.recorder.done for lane in lanes))
         packer = OutputConcatUnit(
             "ocm",
             inp=merged,
@@ -198,9 +192,7 @@ class QrmAccelerator:
         result = self.scheduler.schedule(array)
 
         config = self.config
-        n_input_packets = packets_needed(
-            self.geometry.n_sites, config.packet_bits
-        )
+        n_input_packets = packets_needed(self.geometry.n_sites, config.packet_bits)
         # Load: one AXI burst plus the four Load Vector flip pipelines
         # (2-stage) running at one packet per cycle.
         load_cycles = self.axi.transfer_cycles(n_input_packets) + 2
@@ -245,8 +237,7 @@ class QrmAccelerator:
         """Convenience: just the simulated analysis latency."""
         return self.run(array).report.time_us
 
-    def trace_iteration(self, array: AtomArray, iteration: int = 0,
-                        every: int = 1):
+    def trace_iteration(self, array: AtomArray, iteration: int = 0, every: int = 1):
         """Cycle trace of one iteration's dataflow (for inspection).
 
         Returns a :class:`~repro.fpga.sim.SimulationTrace` whose

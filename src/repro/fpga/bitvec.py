@@ -94,9 +94,7 @@ class BitVector:
 
     def slice(self, start: int, stop: int) -> "BitVector":
         if not 0 <= start <= stop <= self.width:
-            raise SimulationError(
-                f"slice [{start}:{stop}] outside width {self.width}"
-            )
+            raise SimulationError(f"slice [{start}:{stop}] outside width {self.width}")
         mask = (1 << (stop - start)) - 1
         return BitVector(stop - start, (self.value >> start) & mask)
 
@@ -122,6 +120,4 @@ class BitVector:
 
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self.width:
-            raise SimulationError(
-                f"bit index {index} outside width {self.width}"
-            )
+            raise SimulationError(f"bit index {index} outside width {self.width}")

@@ -62,8 +62,7 @@ class LoadVectorUnit:
 class LoadDataModule:
     """The four Load Vector units plus the packet-level input model."""
 
-    def __init__(self, frames: dict[Quadrant, QuadrantFrame],
-                 packet_bits: int = 1024):
+    def __init__(self, frames: dict[Quadrant, QuadrantFrame], packet_bits: int = 1024):
         self.units = {q: LoadVectorUnit(frame) for q, frame in frames.items()}
         self.packet_bits = packet_bits
 

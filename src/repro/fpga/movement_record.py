@@ -51,9 +51,7 @@ def encode_shift(shift: LineShift) -> int:
         ("stop", shift.span_stop),
     ):
         if value > _FIELD_MAX[name]:
-            raise SimulationError(
-                f"{name} {value} exceeds 8-bit record field"
-            )
+            raise SimulationError(f"{name} {value} exceeds 8-bit record field")
     return (
         _DIR_CODE[shift.direction]
         | (shift.steps << 2)

@@ -67,9 +67,7 @@ class OutputConcatUnit(Module):
 
     @property
     def done(self) -> bool:
-        return (
-            self.bits_pending == 0 and self.inp.empty and self._upstream_done()
-        )
+        return (self.bits_pending == 0 and self.inp.empty and self._upstream_done())
 
 
 class AxiWriteSink(Module):

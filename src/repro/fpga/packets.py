@@ -42,18 +42,14 @@ def pack_occupancy(array: AtomArray, packet_bits: int = 1024) -> list[BitVector]
     return packets
 
 
-def unpack_occupancy(
-    packets: list[BitVector], geometry: ArrayGeometry
-) -> AtomArray:
+def unpack_occupancy(packets: list[BitVector], geometry: ArrayGeometry) -> AtomArray:
     """Inverse of :func:`pack_occupancy`."""
     n_sites = geometry.n_sites
     bits: list[bool] = []
     for packet in packets:
         bits.extend(packet.to_bools())
     if len(bits) < n_sites:
-        raise SimulationError(
-            f"{len(bits)} packed bits cannot fill {n_sites} sites"
-        )
+        raise SimulationError(f"{len(bits)} packed bits cannot fill {n_sites} sites")
     grid = np.array(bits[:n_sites], dtype=bool).reshape(geometry.shape)
     return AtomArray(geometry, grid)
 
@@ -73,16 +69,16 @@ def pack_words(
         value = 0
         for i, word in enumerate(chunk):
             if word < 0 or word >= (1 << word_bits):
-                raise SimulationError(
-                    f"word {word} does not fit in {word_bits} bits"
-                )
+                raise SimulationError(f"word {word} does not fit in {word_bits} bits")
             value |= word << (i * word_bits)
         packets.append(BitVector(packet_bits, value))
     return packets
 
 
 def unpack_words(
-    packets: list[BitVector], word_bits: int, n_words: int,
+    packets: list[BitVector],
+    word_bits: int,
+    n_words: int,
     packet_bits: int = 1024,
 ) -> list[int]:
     """Inverse of :func:`pack_words` for the first ``n_words`` entries."""
@@ -95,7 +91,5 @@ def unpack_words(
                 return words
             words.append((packet.value >> (i * word_bits)) & mask)
     if len(words) < n_words:
-        raise SimulationError(
-            f"packets held {len(words)} words, expected {n_words}"
-        )
+        raise SimulationError(f"packets held {len(words)} words, expected {n_words}")
     return words

@@ -20,7 +20,13 @@ from dataclasses import dataclass
 
 from repro.core.passes import PassOutcome
 from repro.fpga.config import FpgaConfig
-from repro.fpga.sim import Fifo, PipelineModule, RateConsumerModule, Simulator, SourceModule
+from repro.fpga.sim import (
+    Fifo,
+    PipelineModule,
+    RateConsumerModule,
+    Simulator,
+    SourceModule,
+)
 from repro.lattice.geometry import Quadrant
 
 
@@ -56,16 +62,12 @@ def iteration_tokens(
     row_counts = row_pass.line_commands.get(quadrant, [0] * qw)
     col_counts = col_pass.line_commands.get(quadrant, [0] * qw)
     for u, n_commands in enumerate(row_counts):
-        tokens.append(
-            (u, LineToken(quadrant, "row", u, n_commands))
-        )
+        tokens.append((u, LineToken(quadrant, "row", u, n_commands)))
     # Column v completes once the last row's bit v has been scanned:
     # last row enters at qw - 1 and reaches stage v at qw - 1 + v + 1.
     base = qw
     for v, n_commands in enumerate(col_counts):
-        tokens.append(
-            (base + v, LineToken(quadrant, "column", v, n_commands))
-        )
+        tokens.append((base + v, LineToken(quadrant, "column", v, n_commands)))
     return tokens
 
 
@@ -103,6 +105,9 @@ def build_lane(
     sim.add_module(kernel)
     sim.add_module(recorder)
     return QpmLane(
-        quadrant=quadrant, source=source, kernel=kernel,
-        recorder=recorder, out=out,
+        quadrant=quadrant,
+        source=source,
+        kernel=kernel,
+        recorder=recorder,
+        out=out,
     )

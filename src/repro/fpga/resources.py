@@ -119,9 +119,7 @@ class ResourceModel:
     def estimate(self, size: int) -> ResourceReport:
         """Estimate the accelerator's resources for a ``size x size`` array."""
         if size < 2 or size % 2:
-            raise ConfigurationError(
-                f"array size must be even and >= 2, got {size}"
-            )
+            raise ConfigurationError(f"array size must be even and >= 2, got {size}")
         total_luts = _linear(_LUT_ANCHORS, size)
         total_ffs = _linear(_FF_ANCHORS, size)
 

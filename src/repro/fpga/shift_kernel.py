@@ -51,9 +51,7 @@ class RowScanTrace:
         return BitVector.from_bits(stage.command for stage in self.stages)
 
     def hole_positions(self) -> tuple[int, ...]:
-        return tuple(
-            stage.stage for stage in self.stages if stage.command
-        )
+        return tuple(stage.stage for stage in self.stages if stage.command)
 
 
 class ShiftKernelLane:
@@ -82,9 +80,7 @@ class ShiftKernelLane:
         matching column buffer (the transpose stream).
         """
         if bits.width != self.qw:
-            raise SimulationError(
-                f"row width {bits.width} != kernel width {self.qw}"
-            )
+            raise SimulationError(f"row width {bits.width} != kernel width {self.qw}")
         trace = RowScanTrace(row=row, input_bits=bits)
         register = bits
         for stage in range(self.qw):
@@ -137,8 +133,7 @@ class PipelinedShiftKernel:
     def process(self, rows: list[BitVector]) -> list[RowScanTrace]:
         self.lane.reset_buffers()
         self.traces = [
-            self.lane.scan_row(bits, row=index)
-            for index, bits in enumerate(rows)
+            self.lane.scan_row(bits, row=index) for index, bits in enumerate(rows)
         ]
         return self.traces
 
@@ -173,19 +168,14 @@ class PipelinedShiftKernel:
         for row, stage in snap.occupancy:
             trace = self.traces[row]
             state = trace.stages[stage]
-            reg = "".join(
-                "1" if b else "0" for b in state.register_before.to_bools()
-            )
-            cmds = "".join(
-                "1" if s.command else "0" for s in trace.stages[: stage + 1]
-            )
+            reg = "".join("1" if b else "0" for b in state.register_before.to_bools())
+            cmds = "".join("1" if s.command else "0" for s in trace.stages[: stage + 1])
             lines.append(
                 f"  row {row}: stage {stage}, register {reg}, "
                 f"commands so far {cmds or '-'}"
             )
         if snap.completed_rows:
             lines.append(
-                "  completed rows: "
-                + ", ".join(str(r) for r in snap.completed_rows)
+                "  completed rows: " + ", ".join(str(r) for r in snap.completed_rows)
             )
         return "\n".join(lines)

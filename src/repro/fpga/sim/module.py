@@ -75,8 +75,14 @@ class PipelineModule(Module):
     stages plus a handful of register stages.
     """
 
-    def __init__(self, name: str, inp: Fifo, out: Fifo, depth: int,
-                 transform: Callable[[Any], Any] | None = None):
+    def __init__(
+        self,
+        name: str,
+        inp: Fifo,
+        out: Fifo,
+        depth: int,
+        transform: Callable[[Any], Any] | None = None,
+    ):
         super().__init__(name)
         self.inp = inp
         self.out = out
@@ -104,16 +110,20 @@ class PipelineModule(Module):
 
     @property
     def done(self) -> bool:
-        return (
-            not self._in_flight and self.inp.empty and self._upstream_done()
-        )
+        return (not self._in_flight and self.inp.empty and self._upstream_done())
 
 
 class RateConsumerModule(Module):
     """Consumes tokens at a fixed rate and forwards them after a latency."""
 
-    def __init__(self, name: str, inp: Fifo, out: Fifo | None,
-                 latency: int = 1, per_cycle: int = 1):
+    def __init__(
+        self,
+        name: str,
+        inp: Fifo,
+        out: Fifo | None,
+        latency: int = 1,
+        per_cycle: int = 1,
+    ):
         super().__init__(name)
         self.inp = inp
         self.out = out
@@ -144,6 +154,4 @@ class RateConsumerModule(Module):
 
     @property
     def done(self) -> bool:
-        return (
-            not self._in_flight and self.inp.empty and self._upstream_done()
-        )
+        return (not self._in_flight and self.inp.empty and self._upstream_done())

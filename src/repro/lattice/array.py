@@ -60,9 +60,7 @@ class AtomArray:
         Handy for writing readable unit tests.
         """
         if len(rows) != geometry.height:
-            raise GeometryError(
-                f"expected {geometry.height} rows, got {len(rows)}"
-            )
+            raise GeometryError(f"expected {geometry.height} rows, got {len(rows)}")
         grid = np.zeros(geometry.shape, dtype=bool)
         for r, line in enumerate(rows):
             if len(line) != geometry.width:
@@ -104,8 +102,7 @@ class AtomArray:
         """Empty sites inside ``region``, row-major."""
         block = self.grid[region.row_slice, region.col_slice]
         return [
-            (int(r) + region.row0, int(c) + region.col0)
-            for r, c in np.argwhere(~block)
+            (int(r) + region.row0, int(c) + region.col0) for r, c in np.argwhere(~block)
         ]
 
     def target_count(self) -> int:
@@ -124,9 +121,7 @@ class AtomArray:
 
     def to_rows(self) -> list[str]:
         """Inverse of :meth:`from_rows` (``#`` occupied, ``.`` empty)."""
-        return [
-            "".join("#" if cell else "." for cell in row) for row in self.grid
-        ]
+        return ["".join("#" if cell else "." for cell in row) for row in self.grid]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AtomArray):

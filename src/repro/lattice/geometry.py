@@ -225,8 +225,8 @@ class QuadrantFrame:
     def extract(self, grid: np.ndarray) -> np.ndarray:
         """Return this quadrant of ``grid`` in local orientation (a copy)."""
         block = grid[
-            self.row0 : self.row0 + self.n_rows,
-            self.col0 : self.col0 + self.n_cols,
+            self.row0: self.row0 + self.n_rows,
+            self.col0: self.col0 + self.n_cols,
         ]
         if self.flip_rows:
             block = block[::-1, :]
@@ -247,8 +247,8 @@ class QuadrantFrame:
         if self.flip_cols:
             block = block[:, ::-1]
         grid[
-            self.row0 : self.row0 + self.n_rows,
-            self.col0 : self.col0 + self.n_cols,
+            self.row0: self.row0 + self.n_rows,
+            self.col0: self.col0 + self.n_cols,
         ] = block
 
 

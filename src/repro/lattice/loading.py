@@ -47,9 +47,7 @@ def load_exact(
 ) -> AtomArray:
     """Exactly ``n_atoms`` atoms placed uniformly at random."""
     if not 0 <= n_atoms <= geometry.n_sites:
-        raise LoadingError(
-            f"n_atoms must be in [0, {geometry.n_sites}], got {n_atoms}"
-        )
+        raise LoadingError(f"n_atoms must be in [0, {geometry.n_sites}], got {n_atoms}")
     gen = as_rng(rng)
     flat = np.zeros(geometry.n_sites, dtype=bool)
     flat[gen.choice(geometry.n_sites, size=n_atoms, replace=False)] = True

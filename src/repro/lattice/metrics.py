@@ -60,8 +60,9 @@ class ArrayStats:
             f"target: {self.target_count}/{self.target_sites} "
             f"(fill {self.target_fill_fraction:.1%}, {self.defects} defects)",
             f"reservoir surplus: {self.surplus}",
-            "quadrants: "
-            + ", ".join(f"{k}={v}" for k, v in self.quadrant_counts.items()),
+            "quadrants: " + ", ".join(
+                f"{k}={v}" for k, v in self.quadrant_counts.items()
+            ),
         ]
         return "\n".join(lines)
 

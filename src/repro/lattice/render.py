@@ -42,8 +42,5 @@ def render_side_by_side(
     right_lines = render_array(right).splitlines()
     width = max(len(line) for line in left_lines) if left_lines else 0
     header = f"{labels[0]:<{width}}{gap}{labels[1]}"
-    body = [
-        f"{l:<{width}}{gap}{r}"
-        for l, r in zip(left_lines, right_lines)
-    ]
+    body = [f"{l:<{width}}{gap}{r}" for l, r in zip(left_lines, right_lines)]
     return "\n".join([header, *body])

@@ -56,6 +56,4 @@ class LatencyComparison:
 
     @property
     def speedup_measured(self) -> float:
-        return (
-            self.cpu_measured_us / self.fpga_us if self.fpga_us else float("inf")
-        )
+        return (self.cpu_measured_us / self.fpga_us if self.fpga_us else float("inf"))

@@ -46,6 +46,4 @@ GIGE = LinkModel("gige", bandwidth_gbps=0.94, latency_us=50.0)
 #: On-chip AXI to DDR (PL <-> PS of the RFSoC).
 AXI_DDR = LinkModel("axi-ddr", bandwidth_gbps=128.0, latency_us=0.1)
 
-LINKS = {
-    link.name: link for link in (COAXPRESS_12, PCIE_GEN3_X8, GIGE, AXI_DDR)
-}
+LINKS = {link.name: link for link in (COAXPRESS_12, PCIE_GEN3_X8, GIGE, AXI_DDR)}

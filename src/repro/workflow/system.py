@@ -92,9 +92,7 @@ def architecture_a_budget(
     bits = model.image_bits(size)
     budget.add("camera -> grabber (CXP)", model.camera_link.transfer_us(bits))
     budget.add("grabber -> host (PCIe)", model.host_link.transfer_us(bits))
-    budget.add(
-        "host driver/interrupt overhead", model.host_software_overhead_us
-    )
+    budget.add("host driver/interrupt overhead", model.host_software_overhead_us)
     mpx = model.n_pixels(size) / 1e6
     budget.add("host atom detection", model.cpu_detection_us_per_mpx * mpx)
     budget.add("host QRM scheduling", model_cpu_time_us("qrm", size))
@@ -123,9 +121,7 @@ def architecture_b_budget(
     # them, so only the flush of its last image row is exposed latency.
     pps = model.camera.pixels_per_site
     flush_cycles = model.fpga_detection_cycles_per_px * size * pps * pps
-    budget.add(
-        "on-FPGA detection (flush)", flush_cycles / model.fpga.clock_mhz
-    )
+    budget.add("on-FPGA detection (flush)", flush_cycles / model.fpga.clock_mhz)
     budget.add("QRM accelerator analysis", fpga_analysis_us)
     moves_bits = size * size
     budget.add("PL -> AWG (on-chip)", model.onchip_link.transfer_us(moves_bits))

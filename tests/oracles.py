@@ -17,8 +17,10 @@ on:
 
 Used by ``test_pass_equivalence.py`` (QRM pass),
 ``test_repair_equivalence.py`` (repair stage),
-``test_baseline_equivalence.py`` (Tetris/PSCA), and
-``test_executor_batch.py`` (batched replay).
+``test_baseline_equivalence.py`` (Tetris/PSCA),
+``test_executor_batch.py`` (batched replay), and — via the
+:func:`campaign_specs` grids — ``test_journal.py`` (journal
+crash-consistency against the clean-run oracle).
 """
 
 from __future__ import annotations
@@ -59,8 +61,7 @@ def occupancy_grids(draw, geometry: ArrayGeometry) -> np.ndarray:
         loss_rate = draw(st.floats(min_value=0.0, max_value=0.3))
         loss_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
         survives = (
-            np.random.default_rng(loss_seed).random(geometry.shape)
-            >= loss_rate
+            np.random.default_rng(loss_seed).random(geometry.shape) >= loss_rate
         )
         grid &= survives
     return grid
@@ -71,6 +72,32 @@ def atom_arrays(draw, sizes=SIZES, targets=TARGETS) -> AtomArray:
     """Random :class:`AtomArray` over geometry x fill x loss seeds."""
     geometry = draw(geometries(sizes=sizes, targets=targets))
     return AtomArray(geometry, draw(occupancy_grids(geometry)))
+
+
+@st.composite
+def campaign_specs(draw, max_seeds: int = 3):
+    """Tiny campaign grids for engine/journal differential tests.
+
+    Small enough that one full campaign runs in milliseconds, varied
+    enough to cover multi-algorithm grids, so crash-consistency and
+    executor-equivalence properties can afford one clean run plus one
+    perturbed run per example.
+    """
+    from repro.campaign.spec import CampaignSpec
+
+    algorithms = draw(st.sampled_from([("qrm",), ("tetris",), ("qrm", "tetris")]))
+    size = draw(st.sampled_from((4, 6, 8)))
+    fill = draw(st.sampled_from((0.3, 0.5, 0.7)))
+    n_seeds = draw(st.integers(min_value=1, max_value=max_seeds))
+    master_seed = draw(st.integers(min_value=0, max_value=2**16))
+    return CampaignSpec(
+        name="oracle",
+        algorithms=algorithms,
+        sizes=(size,),
+        fills=(fill,),
+        n_seeds=n_seeds,
+        master_seed=master_seed,
+    )
 
 
 # ---------------------------------------------------------------------------

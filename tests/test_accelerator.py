@@ -34,8 +34,7 @@ class TestFunctionalEquivalence:
             QrmAccelerator(geo8).run(array20)
 
     def test_non_square_rejected(self):
-        geometry = ArrayGeometry(width=10, height=8, target_width=4,
-                                 target_height=4)
+        geometry = ArrayGeometry(width=10, height=8, target_width=4, target_height=4)
         with pytest.raises(SimulationError):
             QrmAccelerator(geometry)
 
@@ -106,9 +105,9 @@ class TestCycleReport:
 class TestConfigSensitivity:
     def test_faster_clock_lower_latency(self, array20):
         base = QrmAccelerator(array20.geometry).run(array20).report
-        fast = QrmAccelerator(
-            array20.geometry, config=FpgaConfig(clock_mhz=500.0)
-        ).run(array20).report
+        fast = QrmAccelerator(array20.geometry, config=FpgaConfig(clock_mhz=500.0)).run(
+            array20
+        ).report
         assert fast.time_us < base.time_us
         assert fast.total_cycles == base.total_cycles
 

@@ -20,9 +20,7 @@ from repro.analysis.tables import format_table, to_csv
 
 class TestTables:
     def test_format_table_alignment(self):
-        text = format_table(
-            ["name", "value"], [["a", 1.5], ["bb", 22.25]], title="t"
-        )
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]], title="t")
         lines = text.splitlines()
         assert lines[0] == "t"
         assert "name" in lines[1]

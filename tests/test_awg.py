@@ -64,8 +64,11 @@ class TestSegment:
 
     def test_amplitude_envelope(self):
         segment = Segment(
-            "s", duration_us=1.0, tones=(Tone(5.0, 5.0),),
-            amplitude_start=0.0, amplitude_end=1.0,
+            "s",
+            duration_us=1.0,
+            tones=(Tone(5.0, 5.0),),
+            amplitude_start=0.0,
+            amplitude_end=1.0,
         )
         samples = segment.synthesize(sample_rate_msps=1000.0)
         first_half = np.abs(samples[:400]).max()
@@ -97,12 +100,16 @@ class TestCompiler:
     def test_three_segments_per_move(self):
         segments = compile_move(self._move(), AodToneConfig())
         assert [s.label.split(".")[-1] for s in segments] == [
-            "pickup", "transport", "drop",
+            "pickup",
+            "transport",
+            "drop",
         ]
 
     def test_durations_match_timing_model(self, geo8):
         timing = MoveTimingModel(
-            pickup_us=100.0, drop_us=50.0, transfer_us_per_site=10.0,
+            pickup_us=100.0,
+            drop_us=50.0,
+            transfer_us_per_site=10.0,
             settle_us=5.0,
         )
         schedule = MoveSchedule(geo8)

@@ -39,9 +39,7 @@ def test_tetris_schedule_replays_cleanly(array):
 @given(atom_arrays(), st.integers(min_value=1, max_value=8))
 @settings(max_examples=60, deadline=None)
 def test_psca_bit_identical_to_reference(array, max_tweezers):
-    ours = PscaScheduler(
-        array.geometry, max_tweezers=max_tweezers
-    ).schedule(array)
+    ours = PscaScheduler(array.geometry, max_tweezers=max_tweezers).schedule(array)
     expected = PscaSchedulerReference(
         array.geometry, max_tweezers=max_tweezers
     ).schedule(array)

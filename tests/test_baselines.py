@@ -24,8 +24,9 @@ ALL_BASELINES = ["tetris", "psca", "mta1"]
 class TestRegistry:
     def test_builtins_present(self):
         names = list_algorithms()
-        for expected in ["qrm", "qrm-fresh", "qrm-repair", "typical",
-                         "tetris", "psca", "mta1"]:
+        for expected in [
+            "qrm", "qrm-fresh", "qrm-repair", "typical", "tetris", "psca", "mta1"
+        ]:
             assert expected in names
 
     def test_unknown_name_raises(self, geo8):

@@ -29,9 +29,7 @@ class TestCommands:
         assert "moves" in out
 
     def test_rearrange_render_and_fpga(self, capsys):
-        code = main(
-            ["rearrange", "--size", "12", "--seed", "3", "--render", "--fpga"]
-        )
+        code = main(["rearrange", "--size", "12", "--seed", "3", "--render", "--fpga"])
         assert code == 0
         out = capsys.readouterr().out
         assert "cycles" in out
@@ -39,8 +37,7 @@ class TestCommands:
 
     def test_rearrange_baseline(self, capsys):
         assert main(
-            ["rearrange", "--size", "12", "--seed", "3",
-             "--algorithm", "tetris"]
+            ["rearrange", "--size", "12", "--seed", "3", "--algorithm", "tetris"]
         ) == 0
         assert "tetris" in capsys.readouterr().out
 
@@ -89,8 +86,17 @@ class TestCommands:
     def test_sweep(self, capsys, tmp_path):
         csv_path = tmp_path / "sweep.csv"
         assert main(
-            ["sweep", "--sizes", "10", "--fills", "0.5", "--trials", "1",
-             "--csv", str(csv_path)]
+            [
+                "sweep",
+                "--sizes",
+                "10",
+                "--fills",
+                "0.5",
+                "--trials",
+                "1",
+                "--csv",
+                str(csv_path),
+            ]
         ) == 0
         out = capsys.readouterr().out
         assert "target_fill" in out
@@ -99,10 +105,25 @@ class TestCommands:
     def test_campaign(self, capsys, tmp_path):
         csv_path = tmp_path / "campaign.csv"
         assert main(
-            ["campaign", "--name", "clitest", "--algorithms", "qrm",
-             "tetris", "--sizes", "10", "--fills", "0.5", "--seeds", "2",
-             "--cache-dir", str(tmp_path / "cache"), "--csv", str(csv_path),
-             "--quiet"]
+            [
+                "campaign",
+                "--name",
+                "clitest",
+                "--algorithms",
+                "qrm",
+                "tetris",
+                "--sizes",
+                "10",
+                "--fills",
+                "0.5",
+                "--seeds",
+                "2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--csv",
+                str(csv_path),
+                "--quiet",
+            ]
         ) == 0
         out = capsys.readouterr().out
         assert "Campaign 'clitest'" in out
@@ -110,16 +131,114 @@ class TestCommands:
         assert csv_path.exists()
         # Second invocation is served entirely from the cache.
         assert main(
-            ["campaign", "--name", "clitest", "--algorithms", "qrm",
-             "tetris", "--sizes", "10", "--fills", "0.5", "--seeds", "2",
-             "--cache-dir", str(tmp_path / "cache"), "--quiet"]
+            [
+                "campaign",
+                "--name",
+                "clitest",
+                "--algorithms",
+                "qrm",
+                "tetris",
+                "--sizes",
+                "10",
+                "--fills",
+                "0.5",
+                "--seeds",
+                "2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--quiet",
+            ]
         ) == 0
         assert "[4/4 trials from cache" in capsys.readouterr().out
 
+    def test_campaign_async_executor_matches_serial(self, capsys, tmp_path):
+        base = [
+            "campaign",
+            "--name",
+            "async-cli",
+            "--algorithms",
+            "qrm",
+            "--sizes",
+            "10",
+            "--fills",
+            "0.5",
+            "--seeds",
+            "4",
+            "--no-cache",
+            "--quiet",
+        ]
+        serial_csv = tmp_path / "serial.csv"
+        fanned_csv = tmp_path / "async.csv"
+        assert main(base + ["--csv", str(serial_csv)]) == 0
+        assert main(
+            base + ["--executor", "async", "--workers", "2", "--csv", str(fanned_csv)]
+        ) == 0
+        capsys.readouterr()
+        assert serial_csv.read_bytes() == fanned_csv.read_bytes()
+
+    def test_campaign_interrupt_then_resume(self, capsys, tmp_path):
+        base = [
+            "campaign",
+            "--name",
+            "resume-cli",
+            "--algorithms",
+            "qrm",
+            "--sizes",
+            "8",
+            "--fills",
+            "0.5",
+            "--seeds",
+            "6",
+            "--no-cache",
+            "--quiet",
+        ]
+        clean_csv = tmp_path / "clean.csv"
+        assert main(base + ["--csv", str(clean_csv)]) == 0
+
+        journal = tmp_path / "run.jsonl"
+        code = main(base + ["--journal", str(journal), "--interrupt-after", "2"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert f"--resume {journal}" in err
+
+        resumed_csv = tmp_path / "resumed.csv"
+        assert main(
+            [
+                "campaign",
+                "--resume",
+                str(journal),
+                "--no-cache",
+                "--csv",
+                str(resumed_csv),
+                "--quiet",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 replayed from journal" in out
+        assert clean_csv.read_bytes() == resumed_csv.read_bytes()
+
+    def test_campaign_resume_flag_conflicts(self, capsys, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        assert main(["campaign", "--resume", str(journal), "--spec", "x.json"]) == 2
+        assert main(
+            ["campaign", "--resume", str(journal), "--journal", str(journal)]
+        ) == 2
+        # Missing journal file is a clean usage error, not a traceback.
+        assert main(["campaign", "--resume", str(journal)]) == 2
+        capsys.readouterr()
+
     def test_campaign_spec_file_round_trip(self, capsys, tmp_path):
         assert main(
-            ["campaign", "--name", "fromfile", "--sizes", "10",
-             "--seeds", "1", "--dump-spec"]
+            [
+                "campaign",
+                "--name",
+                "fromfile",
+                "--sizes",
+                "10",
+                "--seeds",
+                "1",
+                "--dump-spec",
+            ]
         ) == 0
         spec_json = capsys.readouterr().out
         spec_path = tmp_path / "spec.json"

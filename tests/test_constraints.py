@@ -100,8 +100,7 @@ class TestCrossProduct:
         grid[0, 5] = True
         constraints = AodConstraints(enforce_cross_product=False)
         codes = [
-            v.code
-            for v in check_parallel_move(grid, self._two_row_move(), constraints)
+            v.code for v in check_parallel_move(grid, self._two_row_move(), constraints)
         ]
         assert CROSS_PICKUP not in codes
 
@@ -109,9 +108,7 @@ class TestCrossProduct:
 class TestToneBudget:
     def test_line_budget(self):
         grid = _grid()
-        move = ParallelMove.of(
-            [LineShift(Direction.EAST, r, 0, 2) for r in range(5)]
-        )
+        move = ParallelMove.of([LineShift(Direction.EAST, r, 0, 2) for r in range(5)])
         constraints = AodConstraints(max_line_tones=4)
         codes = [v.code for v in check_parallel_move(grid, move, constraints)]
         assert TONE_BUDGET in codes
@@ -125,9 +122,7 @@ class TestToneBudget:
 
     def test_unlimited_by_default(self):
         grid = _grid()
-        move = ParallelMove.of(
-            [LineShift(Direction.EAST, r, 0, 7) for r in range(8)]
-        )
+        move = ParallelMove.of([LineShift(Direction.EAST, r, 0, 7) for r in range(8)])
         assert is_move_safe(grid, move)
 
 
@@ -135,9 +130,7 @@ class TestEmptyMove:
     def test_flagged_when_forbidden(self):
         grid = _grid()
         constraints = AodConstraints(forbid_empty_moves=True)
-        codes = [
-            v.code for v in check_parallel_move(grid, _east(0, 0, 3), constraints)
-        ]
+        codes = [v.code for v in check_parallel_move(grid, _east(0, 0, 3), constraints)]
         assert EMPTY_MOVE in codes
 
     def test_allowed_by_default(self):

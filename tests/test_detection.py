@@ -121,16 +121,12 @@ class TestThresholds:
             otsu_threshold(np.zeros(0))
 
     def test_midpoint_refinement_centres(self, rng):
-        values = np.concatenate(
-            [rng.normal(0, 1, 500), rng.normal(100, 1, 500)]
-        )
+        values = np.concatenate([rng.normal(0, 1, 500), rng.normal(100, 1, 500)])
         refined = refine_threshold_midpoint(values, 20.0)
         assert 45 < refined < 55
 
     def test_bimodal_threshold_combined(self, rng):
-        values = np.concatenate(
-            [rng.normal(5, 1, 300), rng.normal(60, 3, 300)]
-        )
+        values = np.concatenate([rng.normal(5, 1, 300), rng.normal(60, 3, 300)])
         threshold = bimodal_threshold(values)
         assert 20 < threshold < 45
 

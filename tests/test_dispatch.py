@@ -1,0 +1,151 @@
+"""Tests for the multi-host dispatch skeleton and its worker protocol."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    DistributedExecutor,
+    ExperimentCampaign,
+    ScenarioCell,
+    SubprocessWorkerTransport,
+    TrialSpec,
+    WorkerSpec,
+    run_trial,
+)
+from repro.campaign.protocol import (
+    function_path,
+    read_frame,
+    resolve_function,
+    write_frame,
+)
+from repro.campaign.worker import serve
+from repro.errors import ConfigurationError, ExecutionError
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        stream = io.BytesIO()
+        write_frame(stream, (3, {"metrics": [1.0, 2.0]}))
+        write_frame(stream, "second")
+        stream.seek(0)
+        assert read_frame(stream) == (3, {"metrics": [1.0, 2.0]})
+        assert read_frame(stream) == "second"
+        assert read_frame(stream) is None
+
+    def test_truncated_frame_raises(self):
+        stream = io.BytesIO()
+        write_frame(stream, "payload")
+        data = stream.getvalue()
+        with pytest.raises(EOFError):
+            read_frame(io.BytesIO(data[:-2]))
+        with pytest.raises(EOFError):
+            read_frame(io.BytesIO(data[:2]))
+
+    def test_function_path_round_trip(self):
+        path = function_path(run_trial)
+        assert path == "repro.campaign.trial:run_trial"
+        assert resolve_function(path) is run_trial
+
+    def test_function_path_rejects_non_module_level(self):
+        with pytest.raises(ConfigurationError):
+            function_path(lambda x: x)
+
+        def local(x):
+            return x
+
+        with pytest.raises(ConfigurationError):
+            function_path(local)
+
+    def test_resolve_rejects_malformed(self):
+        with pytest.raises(ConfigurationError):
+            resolve_function("no-colon")
+        with pytest.raises(ConfigurationError):
+            resolve_function("math:pi")  # not callable
+
+
+class TestWorkerLoop:
+    def _serve(self, *frames):
+        stdin = io.BytesIO()
+        for frame in frames:
+            write_frame(stdin, frame)
+        stdin.seek(0)
+        stdout = io.BytesIO()
+        served = serve(stdin, stdout)
+        stdout.seek(0)
+        results = []
+        while (frame := read_frame(stdout)) is not None:
+            results.append(frame)
+        return served, results
+
+    def test_serves_and_tags_results(self):
+        served, results = self._serve({"fn": "builtins:abs"}, (0, -3), (1, 4))
+        assert served == 2
+        assert results == [("ok", 0, 3), ("ok", 1, 4)]
+
+    def test_error_frames_do_not_kill_the_worker(self):
+        served, results = self._serve({"fn": "builtins:len"}, (0, 123), (1, "ok"))
+        assert served == 2
+        assert results[0][0] == "error"
+        assert results[0][1] == 0
+        assert "TypeError" in results[0][2]
+        assert results[1] == ("ok", 1, 2)
+
+    def test_empty_session(self):
+        served, results = self._serve()
+        assert served == 0
+        assert results == []
+
+
+def trial_items(n_seeds: int = 4) -> list[TrialSpec]:
+    cell = ScenarioCell(algorithm="qrm", size=8, fill=0.5)
+    return [
+        TrialSpec(cell=cell, seed_index=index, master_seed=7)
+        for index in range(n_seeds)
+    ]
+
+
+class TestDistributedExecutor:
+    def test_matches_in_process_results(self):
+        items = trial_items(4)
+        expected = {index: run_trial(item) for index, item in enumerate(items)}
+        executor = DistributedExecutor(workers=[WorkerSpec(slots=2)])
+        assert dict(executor.run(run_trial, items)) == expected
+
+    def test_campaign_aggregates_match_serial(self):
+        spec = CampaignSpec(
+            name="dispatch-unit",
+            algorithms=("qrm",),
+            sizes=(8,),
+            fills=(0.5,),
+            n_seeds=4,
+        )
+        serial = ExperimentCampaign(spec).run()
+        distributed = ExperimentCampaign(
+            spec, executor=DistributedExecutor(workers=[WorkerSpec(slots=2)])
+        ).run()
+        assert serial.to_csv() == distributed.to_csv()
+
+    def test_empty_items(self):
+        executor = DistributedExecutor(workers=[WorkerSpec()])
+        assert list(executor.run(run_trial, [])) == []
+
+    def test_remote_error_surfaces(self):
+        bad = TrialSpec(
+            cell=ScenarioCell(algorithm="no-such-algorithm", size=8),
+            seed_index=0,
+            master_seed=0,
+        )
+        executor = DistributedExecutor(workers=[WorkerSpec()])
+        with pytest.raises(ExecutionError, match="remotely"):
+            list(executor.run(run_trial, [bad]))
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkerSpec(slots=0)
+        with pytest.raises(ConfigurationError):
+            SubprocessWorkerTransport(WorkerSpec(host="gpu-farm-01"))
+        assert not WorkerSpec(host="gpu-farm-01").local

@@ -79,16 +79,12 @@ class TestPassEdgeCases:
     def test_pass_on_full_grid_emits_nothing(self, geo8):
         array = AtomArray.full(geo8)
         frames = {q: geo8.quadrant_frame(q) for q in Quadrant}
-        outcome = run_pass(
-            array, frames, Phase.ROW, scan_source=array.grid
-        )
+        outcome = run_pass(array, frames, Phase.ROW, scan_source=array.grid)
         assert outcome.n_commands == 0
 
     def test_single_row_quadrants(self):
         """Height-2 arrays make one-row quadrants; column pass is trivial."""
-        geometry = ArrayGeometry(
-            width=8, height=2, target_width=4, target_height=2
-        )
+        geometry = ArrayGeometry(width=8, height=2, target_width=4, target_height=2)
         from repro.lattice.loading import load_uniform
 
         array = load_uniform(geometry, 0.5, rng=2)
@@ -101,9 +97,7 @@ class TestPassEdgeCases:
         outcome = run_pass(array, frames, Phase.ROW, scan_source=array.grid)
         for quadrant in Quadrant:
             counted = outcome.lines_with_commands(quadrant)
-            raw = sum(
-                1 for n in outcome.line_commands[quadrant] if n > 0
-            )
+            raw = sum(1 for n in outcome.line_commands[quadrant] if n > 0)
             assert counted == raw
 
 
@@ -137,9 +131,9 @@ class TestFreshVsPipelinedMoveCounts:
 
         for seed in range(3):
             array = load_uniform(geo20, 0.5, rng=seed)
-            pipelined = QrmScheduler(
-                geo20, QrmParameters(n_iterations=16)
-            ).schedule(array)
+            pipelined = QrmScheduler(geo20, QrmParameters(n_iterations=16)).schedule(
+                array
+            )
             fresh = QrmScheduler(
                 geo20,
                 QrmParameters(n_iterations=16, scan_mode=ScanMode.FRESH),

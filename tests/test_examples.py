@@ -36,7 +36,9 @@ def test_full_workflow(monkeypatch, capsys):
 
 def test_algorithm_comparison(monkeypatch, capsys):
     out = _run_example(
-        monkeypatch, capsys, "algorithm_comparison.py",
+        monkeypatch,
+        capsys,
+        "algorithm_comparison.py",
         ["--size", "12", "--trials", "1"],
     )
     assert "mta1" in out
@@ -52,16 +54,16 @@ def test_scalability_study(monkeypatch, capsys):
 
 
 def test_fpga_cycle_trace(monkeypatch, capsys):
-    out = _run_example(
-        monkeypatch, capsys, "fpga_cycle_trace.py", ["--size", "10"]
-    )
+    out = _run_example(monkeypatch, capsys, "fpga_cycle_trace.py", ["--size", "10"])
     assert "Fig 6(a)" in out
     assert "column stream" in out
 
 
 def test_feasibility_study(monkeypatch, capsys):
     out = _run_example(
-        monkeypatch, capsys, "feasibility_study.py",
+        monkeypatch,
+        capsys,
+        "feasibility_study.py",
         ["--size", "20", "--trials", "1"],
     )
     assert "predicted fill" in out
@@ -69,8 +71,12 @@ def test_feasibility_study(monkeypatch, capsys):
 
 
 ALL_EXAMPLES = [
-    "quickstart.py", "full_workflow.py", "algorithm_comparison.py",
-    "scalability_study.py", "fpga_cycle_trace.py", "feasibility_study.py",
+    "quickstart.py",
+    "full_workflow.py",
+    "algorithm_comparison.py",
+    "scalability_study.py",
+    "fpga_cycle_trace.py",
+    "feasibility_study.py",
 ]
 
 

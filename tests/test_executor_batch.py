@@ -32,9 +32,7 @@ GRID_N = 10
 @st.composite
 def grids(draw):
     bits = draw(
-        st.lists(
-            st.booleans(), min_size=GRID_N * GRID_N, max_size=GRID_N * GRID_N
-        )
+        st.lists(st.booleans(), min_size=GRID_N * GRID_N, max_size=GRID_N * GRID_N)
     )
     return np.array(bits, dtype=bool).reshape(GRID_N, GRID_N)
 
@@ -58,8 +56,7 @@ def moves(draw):
         start = draw(st.integers(0, GRID_N - 2))
         stop = draw(st.integers(start + 1, GRID_N - 1))
         shifts.append(
-            LineShift(direction, line, span_start=start, span_stop=stop,
-                      steps=steps)
+            LineShift(direction, line, span_start=start, span_stop=stop, steps=steps)
         )
     return ParallelMove.of(shifts)
 
@@ -123,9 +120,7 @@ def test_schedule_replay_matches_scheduler_final(array):
         TetrisScheduler(array.geometry),
     ):
         result = scheduler.schedule(array)
-        final, report = execute_schedule(
-            array, result.schedule, constraints=None
-        )
+        final, report = execute_schedule(array, result.schedule, constraints=None)
         assert report.ok
         assert final == result.final
         assert report.n_moves == len(result.schedule)

@@ -29,9 +29,7 @@ class TestPrediction:
             result = QrmScheduler(geometry, params).schedule(array)
             fills.append(result.target_fill_fraction)
         empirical = statistics.mean(fills)
-        assert estimate.expected_target_fill == pytest.approx(
-            empirical, abs=0.02
-        )
+        assert estimate.expected_target_fill == pytest.approx(empirical, abs=0.02)
 
     def test_pipelined_mode_within_model_band(self):
         geometry = ArrayGeometry.square(30)
@@ -66,9 +64,9 @@ class TestPrediction:
     def test_defect_accounting(self):
         geometry = ArrayGeometry.square(50, 30)
         estimate = predict_compaction_fill(geometry, 0.5)
-        implied = 4 * (
-            (geometry.target_height // 2) * (geometry.target_width // 2)
-        ) * (1 - estimate.expected_target_fill)
+        implied = 4 * ((geometry.target_height // 2) * (geometry.target_width // 2)) * (
+            1 - estimate.expected_target_fill
+        )
         assert estimate.expected_defects == pytest.approx(implied, rel=1e-6)
 
     def test_column_heights_decreasing(self):

@@ -99,9 +99,7 @@ class TestRowCombination:
         sources = []
         for i, lane in enumerate(lanes):
             src = SourceModule(f"src{i}", lane)
-            src.load(
-                [(0, LineToken(Quadrant.NW, "row", u, 1)) for u in range(3)]
-            )
+            src.load([(0, LineToken(Quadrant.NW, "row", u, 1)) for u in range(3)])
             sources.append(src)
             sim.add_module(src)
         merged = sim.new_fifo("merged", 16)
@@ -139,8 +137,7 @@ class TestOutputConcat:
         # 40 records x 32 bits = 1280 bits -> 2 packets (one partial).
         src.load([(0, ("merged", 4)) for _ in range(10)])
         sim.add_module(src)
-        packer = OutputConcatUnit("ocm", inp, out, record_bits=32,
-                                  packet_bits=1024)
+        packer = OutputConcatUnit("ocm", inp, out, record_bits=32, packet_bits=1024)
         packer.set_upstream_done(lambda: src.done)
         sink = AxiWriteSink("axi", out)
         sink.set_upstream_done(lambda: packer.done)
@@ -193,8 +190,7 @@ def test_build_lane_structure(geo8):
     row = PassOutcome(phase=Phase.ROW)
     col = PassOutcome(phase=Phase.COLUMN)
     tokens = iteration_tokens(Quadrant.NW, row, col, geo8.half_width)
-    lane = build_lane(sim, Quadrant.NW, tokens, geo8.half_width,
-                      DEFAULT_FPGA_CONFIG)
+    lane = build_lane(sim, Quadrant.NW, tokens, geo8.half_width, DEFAULT_FPGA_CONFIG)
     assert lane.quadrant is Quadrant.NW
     assert lane.kernel.depth == geo8.half_width + (
         DEFAULT_FPGA_CONFIG.kernel_pipeline_depth_extra

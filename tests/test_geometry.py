@@ -204,9 +204,7 @@ class TestQuadrantFrames:
 
     def test_quadrant_target_region_shares_target(self):
         geo = ArrayGeometry.square(8, 4)
-        total = sum(
-            geo.quadrant_target_region(q).n_sites for q in Quadrant
-        )
+        total = sum(geo.quadrant_target_region(q).n_sites for q in Quadrant)
         assert total == geo.n_target_sites
         for q in Quadrant:
             assert geo.quadrant_target_region(q).n_sites == 4

@@ -42,7 +42,9 @@ class TestFig1Workflow:
 
         # 3. The schedule compiles to a playable AWG program.
         timing = MoveTimingModel(
-            pickup_us=10.0, drop_us=10.0, transfer_us_per_site=5.0,
+            pickup_us=10.0,
+            drop_us=10.0,
+            transfer_us_per_site=5.0,
             settle_us=1.0,
         )
         program = compile_schedule(result.schedule, timing=timing)

@@ -44,9 +44,7 @@ class TestMetrics:
         stats = summarize(array20)
         assert stats.n_atoms == array20.n_atoms
         assert stats.defects == defect_count(array20)
-        assert abs(
-            stats.target_fill_fraction - target_fill_fraction(array20)
-        ) < 1e-12
+        assert abs(stats.target_fill_fraction - target_fill_fraction(array20)) < 1e-12
         assert sum(stats.quadrant_counts.values()) == stats.n_atoms
 
     def test_summarize_format_mentions_key_numbers(self, array20):

@@ -17,9 +17,7 @@ class TestOutputStream:
         run = QrmAccelerator(array20.geometry).run(array20)
         packets = run.output_packets()
         decoded = run.decode_output(packets)
-        expected = [
-            shift for move in run.schedule for shift in move.shifts
-        ]
+        expected = [shift for move in run.schedule for shift in move.shifts]
         assert decoded == expected
 
     def test_packet_count_matches_width(self, geo20):

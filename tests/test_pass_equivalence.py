@@ -55,12 +55,20 @@ class TestSinglePassEquivalence:
             ours = AtomArray(geometry, grid.copy())
             theirs = AtomArray(geometry, grid.copy())
             outcome = run_pass(
-                ours, _frames(geometry), phase, scan_source=ours.grid,
-                merge_mirror=merge, scan_limit=limit,
+                ours,
+                _frames(geometry),
+                phase,
+                scan_source=ours.grid,
+                merge_mirror=merge,
+                scan_limit=limit,
             )
             expected = PASS_RUNNERS[oracle](
-                theirs, _frames(geometry), phase, scan_source=theirs.grid,
-                merge_mirror=merge, scan_limit=limit,
+                theirs,
+                _frames(geometry),
+                phase,
+                scan_source=theirs.grid,
+                merge_mirror=merge,
+                scan_limit=limit,
             )
             assert_pass_outcomes_identical(outcome, expected)
             assert np.array_equal(ours.grid, theirs.grid)
@@ -77,20 +85,34 @@ class TestSinglePassEquivalence:
             ours = AtomArray(geometry, grid.copy())
             theirs = AtomArray(geometry, grid.copy())
             run_pass(
-                ours, _frames(geometry), Phase.ROW, scan_source=ours.grid,
+                ours,
+                _frames(geometry),
+                Phase.ROW,
+                scan_source=ours.grid,
                 merge_mirror=merge,
             )
             PASS_RUNNERS[oracle](
-                theirs, _frames(geometry), Phase.ROW, scan_source=theirs.grid,
+                theirs,
+                _frames(geometry),
+                Phase.ROW,
+                scan_source=theirs.grid,
                 merge_mirror=merge,
             )
             outcome = run_pass(
-                ours, _frames(geometry), Phase.COLUMN, scan_source=snapshot,
-                merge_mirror=merge, guard=True,
+                ours,
+                _frames(geometry),
+                Phase.COLUMN,
+                scan_source=snapshot,
+                merge_mirror=merge,
+                guard=True,
             )
             expected = PASS_RUNNERS[oracle](
-                theirs, _frames(geometry), Phase.COLUMN,
-                scan_source=snapshot.copy(), merge_mirror=merge, guard=True,
+                theirs,
+                _frames(geometry),
+                Phase.COLUMN,
+                scan_source=snapshot.copy(),
+                merge_mirror=merge,
+                guard=True,
             )
             assert_pass_outcomes_identical(outcome, expected)
             assert np.array_equal(ours.grid, theirs.grid)
@@ -113,7 +135,8 @@ class TestEndToEndScheduleIdentity:
         for size in (8, 12, 20):
             geometry = ArrayGeometry.square(size)
             array = load_uniform(
-                geometry, float(rng.uniform(0.2, 0.8)),
+                geometry,
+                float(rng.uniform(0.2, 0.8)),
                 rng=int(rng.integers(1 << 31)),
             )
             ours = QrmScheduler(geometry, params).schedule(array)
@@ -152,18 +175,25 @@ class TestBatchOrdering:
         grid = np.zeros(geometry.shape, dtype=bool)
         grid[[0, 0, 7, 7], [0, 7, 0, 7]] = True  # outermost corners
         merged = run_pass(
-            AtomArray(geometry, grid.copy()), _frames(geometry), Phase.ROW,
-            scan_source=grid.copy(), merge_mirror=True,
+            AtomArray(geometry, grid.copy()),
+            _frames(geometry),
+            Phase.ROW,
+            scan_source=grid.copy(),
+            merge_mirror=True,
         )
         # Two moves per round — one per direction, each fusing the two
         # mirror quadrants of that side (EAST flushes before WEST).
         assert [m.tag for m in merged.moves] == [
-            "row-k0-h0", "row-k0-h0",
-            "row-k1-h0", "row-k1-h0",
-            "row-k2-h0", "row-k2-h0",
+            "row-k0-h0",
+            "row-k0-h0",
+            "row-k1-h0",
+            "row-k1-h0",
+            "row-k2-h0",
+            "row-k2-h0",
         ]
         assert [m.direction for m in merged.moves] == [
-            Direction.EAST, Direction.WEST,
+            Direction.EAST,
+            Direction.WEST,
         ] * 3
         assert all(len(move) == 2 for move in merged.moves)
 
@@ -172,15 +202,20 @@ class TestBatchOrdering:
         grid = np.zeros(geometry.shape, dtype=bool)
         grid[[0, 0, 7, 7], [0, 7, 0, 7]] = True
         split = run_pass(
-            AtomArray(geometry, grid.copy()), _frames(geometry), Phase.ROW,
-            scan_source=grid.copy(), merge_mirror=False,
+            AtomArray(geometry, grid.copy()),
+            _frames(geometry),
+            Phase.ROW,
+            scan_source=grid.copy(),
+            merge_mirror=False,
         )
         assert all(len(move) == 1 for move in split.moves)
         # Per round: EAST batches (west quadrants) first, NW before SW,
         # then WEST batches with NE before SE — i.e. batch_order_key.
         assert [m.tag for m in split.moves[:4]] == [
-            "row-k0-h0-NW", "row-k0-h0-SW",
-            "row-k0-h0-NE", "row-k0-h0-SE",
+            "row-k0-h0-NW",
+            "row-k0-h0-SW",
+            "row-k0-h0-NE",
+            "row-k0-h0-SE",
         ]
 
     def test_merge_toggle_same_physical_outcome(self, geo20, rng):
@@ -188,12 +223,18 @@ class TestBatchOrdering:
         merged_array = AtomArray(geo20, grid.copy())
         split_array = AtomArray(geo20, grid.copy())
         merged = run_pass(
-            merged_array, _frames(geo20), Phase.ROW,
-            scan_source=merged_array.grid, merge_mirror=True,
+            merged_array,
+            _frames(geo20),
+            Phase.ROW,
+            scan_source=merged_array.grid,
+            merge_mirror=True,
         )
         split = run_pass(
-            split_array, _frames(geo20), Phase.ROW,
-            scan_source=split_array.grid, merge_mirror=False,
+            split_array,
+            _frames(geo20),
+            Phase.ROW,
+            scan_source=split_array.grid,
+            merge_mirror=False,
         )
         assert merged.n_executed == split.n_executed
         assert merged.n_batches <= split.n_batches
@@ -202,5 +243,8 @@ class TestBatchOrdering:
 
 def test_quadrant_order_unchanged():
     assert QUADRANT_ORDER == (
-        Quadrant.NW, Quadrant.NE, Quadrant.SW, Quadrant.SE,
+        Quadrant.NW,
+        Quadrant.NE,
+        Quadrant.SW,
+        Quadrant.SE,
     )

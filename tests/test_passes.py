@@ -83,9 +83,7 @@ class TestMirrorMerging:
         grid[7, 0] = True  # SW mirror row
         array = AtomArray(geo, grid)
         outcome = _run_row_pass(array, merge=True)
-        east_moves = [
-            m for m in outcome.moves if m.direction is Direction.EAST
-        ]
+        east_moves = [m for m in outcome.moves if m.direction is Direction.EAST]
         assert east_moves
         assert all(len(m) == 2 for m in east_moves)
 
@@ -96,9 +94,7 @@ class TestMirrorMerging:
         grid[7, 0] = True
         array = AtomArray(geo, grid)
         outcome = _run_row_pass(array, merge=False)
-        east_moves = [
-            m for m in outcome.moves if m.direction is Direction.EAST
-        ]
+        east_moves = [m for m in outcome.moves if m.direction is Direction.EAST]
         assert all(len(m) == 1 for m in east_moves)
 
     def test_merge_reduces_move_count(self, geo20, rng):
@@ -134,8 +130,11 @@ class TestColumnPassGuard:
     def test_fresh_column_pass_compacts(self, geo8, rng):
         array = AtomArray(geo8, rng.random(geo8.shape) < 0.5)
         run_pass(
-            array, _frames(geo8), Phase.COLUMN,
-            scan_source=array.grid, guard=False,
+            array,
+            _frames(geo8),
+            Phase.COLUMN,
+            scan_source=array.grid,
+            guard=False,
         )
         for frame in geo8.quadrant_frames():
             local = frame.extract(array.grid)
@@ -146,8 +145,11 @@ class TestColumnPassGuard:
         array = AtomArray(geo8, rng.random(geo8.shape) < 0.5)
         before = array.col_counts().copy()
         run_pass(
-            array, _frames(geo8), Phase.COLUMN,
-            scan_source=array.grid, guard=False,
+            array,
+            _frames(geo8),
+            Phase.COLUMN,
+            scan_source=array.grid,
+            guard=False,
         )
         assert np.array_equal(array.col_counts(), before)
 

@@ -54,9 +54,7 @@ class TestExpectedSurvival:
         long = MoveSchedule(geo8)
         for _ in range(50):
             long.append(move)
-        assert expected_atom_survival(long, 5.0) < expected_atom_survival(
-            short, 1.0
-        )
+        assert expected_atom_survival(long, 5.0) < expected_atom_survival(short, 1.0)
 
 
 class TestSimulateLosses:
@@ -92,12 +90,8 @@ class TestSimulateLosses:
             pickup_us=10, drop_us=10, transfer_us_per_site=1, settle_us=2
         )
         loss = LossModel(vacuum_lifetime_s=1e12)
-        report = simulate_losses(
-            array20, schedule, loss=loss, timing=timing, rng=3
-        )
-        expected = sum(
-            timing.move_duration_us(m) + timing.settle_us for m in schedule
-        )
+        report = simulate_losses(array20, schedule, loss=loss, timing=timing, rng=3)
+        expected = sum(timing.move_duration_us(m) + timing.settle_us for m in schedule)
         assert report.duration_us == pytest.approx(expected)
 
     def test_reproducible_with_seed(self, array20):

@@ -20,9 +20,7 @@ GRID_N = 8
 @st.composite
 def grids(draw):
     bits = draw(
-        st.lists(
-            st.booleans(), min_size=GRID_N * GRID_N, max_size=GRID_N * GRID_N
-        )
+        st.lists(st.booleans(), min_size=GRID_N * GRID_N, max_size=GRID_N * GRID_N)
     )
     return np.array(bits, dtype=bool).reshape(GRID_N, GRID_N)
 
@@ -45,8 +43,7 @@ def moves(draw):
         start = draw(st.integers(0, GRID_N - 2))
         stop = draw(st.integers(start + 1, GRID_N - 1))
         shifts.append(
-            LineShift(direction, line, span_start=start, span_stop=stop,
-                      steps=steps)
+            LineShift(direction, line, span_start=start, span_stop=stop, steps=steps)
         )
     return ParallelMove.of(shifts)
 

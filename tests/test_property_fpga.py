@@ -57,7 +57,8 @@ def geometries_and_grids(draw):
     geometry = ArrayGeometry.square(size, 2)
     bits = draw(
         st.lists(
-            st.booleans(), min_size=geometry.n_sites,
+            st.booleans(),
+            min_size=geometry.n_sites,
             max_size=geometry.n_sites,
         )
     )

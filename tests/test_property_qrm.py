@@ -20,9 +20,7 @@ SIZES = st.sampled_from([4, 6, 8, 10, 12])
 @st.composite
 def random_arrays(draw):
     size = draw(SIZES)
-    target = draw(
-        st.sampled_from([t for t in (2, 4, 6) if t <= size])
-    )
+    target = draw(st.sampled_from([t for t in (2, 4, 6) if t <= size]))
     geometry = ArrayGeometry.square(size, target)
     n_bits = geometry.n_sites
     bits = draw(st.lists(st.booleans(), min_size=n_bits, max_size=n_bits))
@@ -45,10 +43,7 @@ def test_qrm_conserves_atoms_and_quadrant_populations(array):
     result = QrmScheduler(array.geometry).schedule(array)
     assert result.final.n_atoms == array.n_atoms
     for quadrant in Quadrant:
-        assert (
-            result.final.quadrant_count(quadrant)
-            == array.quadrant_count(quadrant)
-        )
+        assert (result.final.quadrant_count(quadrant) == array.quadrant_count(quadrant))
 
 
 @given(random_arrays())

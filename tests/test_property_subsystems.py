@@ -105,9 +105,7 @@ def grids_and_moves(draw):
     start = draw(st.integers(0, n - 2))
     stop = draw(st.integers(start + 1, n - 1))
     steps = draw(st.integers(1, 2))
-    move = ParallelMove.of(
-        [LineShift(direction, line, start, stop, steps)]
-    )
+    move = ParallelMove.of([LineShift(direction, line, start, stop, steps)])
     return grid, move
 
 

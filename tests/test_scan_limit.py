@@ -71,13 +71,9 @@ class TestQrmWithScanLimit:
                 lead = shift.leading_sites()[0]
                 if move.is_horizontal:
                     # the filled hole is within `limit` of the centre cols
-                    distance = min(
-                        abs(lead[1] - (half_w - 1)), abs(lead[1] - half_w)
-                    )
+                    distance = min(abs(lead[1] - (half_w - 1)), abs(lead[1] - half_w))
                 else:
-                    distance = min(
-                        abs(lead[0] - (half_h - 1)), abs(lead[0] - half_h)
-                    )
+                    distance = min(abs(lead[0] - (half_h - 1)), abs(lead[0] - half_h))
                 assert distance < limit
 
     def test_registered_variant(self, geo20):
@@ -91,9 +87,7 @@ class TestRectangularGeometry:
     """QRM is not restricted to square arrays."""
 
     def test_rectangular_schedule_validates(self):
-        geometry = ArrayGeometry(
-            width=24, height=16, target_width=12, target_height=8
-        )
+        geometry = ArrayGeometry(width=24, height=16, target_width=12, target_height=8)
         array = load_uniform(geometry, 0.5, rng=3)
         result = QrmScheduler(geometry).schedule(array)
         report = validate_schedule(array, result.schedule)
@@ -101,9 +95,7 @@ class TestRectangularGeometry:
         assert result.final.n_atoms == array.n_atoms
 
     def test_rectangular_target_improves(self):
-        geometry = ArrayGeometry(
-            width=32, height=20, target_width=16, target_height=10
-        )
+        geometry = ArrayGeometry(width=32, height=20, target_width=16, target_height=10)
         array = load_uniform(geometry, 0.55, rng=9)
         result = QrmScheduler(geometry).schedule(array)
         assert result.final.target_count() > array.target_count()
@@ -111,9 +103,7 @@ class TestRectangularGeometry:
     def test_typical_handles_rectangles_too(self):
         from repro.core.typical import TypicalScheduler
 
-        geometry = ArrayGeometry(
-            width=20, height=12, target_width=10, target_height=6
-        )
+        geometry = ArrayGeometry(width=20, height=12, target_width=10, target_height=6)
         array = load_uniform(geometry, 0.5, rng=4)
         result = TypicalScheduler(geometry).schedule(array)
         assert validate_schedule(array, result.schedule).ok

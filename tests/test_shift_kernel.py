@@ -110,8 +110,7 @@ class TestPipelinedKernel:
     def test_snapshot_after_three_cycles(self):
         """Fig. 6(a): after 3 cycles, three rows are in flight."""
         kernel = PipelinedShiftKernel(qw=5)
-        rows = [vec("10110"), vec("01011"), vec("11100"), vec("00110"),
-                vec("10101")]
+        rows = [vec("10110"), vec("01011"), vec("11100"), vec("00110"), vec("10101")]
         kernel.process(rows)
         snap = kernel.snapshot(3)
         assert len(snap.occupancy) == 4  # rows 0..3 at stages 3,2,1,0

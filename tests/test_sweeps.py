@@ -63,7 +63,11 @@ class TestQrmQualitySweep:
     def test_headers(self):
         result = qrm_quality_sweep(sizes=(10,), fills=(0.5,), trials=1)
         assert result.headers == [
-            "size", "fill", "target_fill", "p_success", "moves",
+            "size",
+            "fill",
+            "target_fill",
+            "p_success",
+            "moves",
         ]
 
 

@@ -62,9 +62,7 @@ class TestMoveTiming:
         timing = MoveTimingModel(
             pickup_us=100, drop_us=100, transfer_us_per_site=10, settle_us=5
         )
-        move = ParallelMove.of(
-            [LineShift(Direction.EAST, 0, 0, 3, steps=4)]
-        )
+        move = ParallelMove.of([LineShift(Direction.EAST, 0, 0, 3, steps=4)])
         assert timing.move_duration_us(move) == 100 + 40 + 100
 
     def test_schedule_motion_time(self, geo8):
@@ -112,16 +110,12 @@ class TestArchitectureBudgets:
 
     def test_architecture_a_dominated_by_host_path(self):
         budget = architecture_a_budget(50)
-        host_items = [
-            item for item in budget.items if "host" in item.stage
-        ]
+        host_items = [item for item in budget.items if "host" in item.stage]
         assert sum(i.time_us for i in host_items) > budget.total_us / 2
 
     def test_architecture_b_analysis_is_minor(self):
         budget = architecture_b_budget(50, fpga_analysis_us=1.6)
-        analysis = next(
-            i for i in budget.items if "analysis" in i.stage
-        )
+        analysis = next(i for i in budget.items if "analysis" in i.stage)
         assert analysis.time_us < 0.1 * budget.total_us
 
     def test_budget_formatting(self):
