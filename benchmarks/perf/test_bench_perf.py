@@ -35,7 +35,7 @@ def test_bench_perf_smoke(seed_base, results_dir, emit):
     report = run_perf_suite(
         sizes=(16, 32),
         fills=(0.5,),
-        algorithms=("qrm", "tetris"),
+        algorithms=("qrm", "tetris", "mta1"),
         trials=2,
         master_seed=seed_base,
         speedup_size=32,
@@ -44,7 +44,8 @@ def test_bench_perf_smoke(seed_base, results_dir, emit):
     path = report.write_json(results_dir / "BENCH_qrm_smoke.json")
     payload = json.loads(path.read_text())
     validate_bench_report(payload)
-    assert len(payload["entries"]) == 4
+    assert len(payload["entries"]) == 6
+    assert payload["skipped"] == []  # mta1 is back on the default grid
     for entry in payload["entries"]:
         assert entry["wall_ms"]["min"] <= entry["wall_ms"]["mean"]
         assert entry["wall_ms"]["mean"] <= entry["wall_ms"]["max"]
@@ -70,9 +71,19 @@ def test_speedup_block_shape(seed_base):
     }
 
 
+def test_guarded_drain_speedup_block_shape(seed_base):
+    from repro.analysis.perf import measure_guarded_drain_speedup
+
+    block = measure_guarded_drain_speedup(size=16, trials=1, master_seed=seed_base)
+    assert set(block) >= {"vectorized_ms", "reference_ms", "speedup_vs_reference"}
+    assert block["vectorized_ms"]["mean"] > 0
+    assert block["reference_ms"]["mean"] > 0
+
+
 def test_component_oracles_match_vectorized_paths(seed_base):
     # The "before" implementations the component blocks time must emit
     # the identical schedules, or their speedup numbers are meaningless.
+    from repro.baselines.mta1 import Mta1Scheduler, Mta1SchedulerReference
     from repro.baselines.psca import PscaScheduler, PscaSchedulerReference
     from repro.baselines.tetris import TetrisScheduler, TetrisSchedulerReference
     from repro.core.repair import repair_defects, repair_defects_reference
@@ -82,6 +93,7 @@ def test_component_oracles_match_vectorized_paths(seed_base):
     for fast, slow in (
         (TetrisScheduler, TetrisSchedulerReference),
         (PscaScheduler, PscaSchedulerReference),
+        (Mta1Scheduler, Mta1SchedulerReference),
     ):
         ours = fast(geometry).schedule(array)
         theirs = slow(geometry).schedule(array)

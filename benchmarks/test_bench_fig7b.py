@@ -54,11 +54,14 @@ def test_fig7b_table(benchmark, emit, seed_base):
     # Paper ratios (reconstructed from the quoted factors).
     assert by_label["psca"].ratio_vs_qrm_cpu == pytest.approx(246, rel=0.01)
     assert by_label["mta1"].ratio_vs_qrm_cpu == pytest.approx(1000, rel=0.01)
-    # Measured Python: the per-atom sequential baseline is the slowest
-    # by a wide margin, as in the paper.
+    # Measured Python: the per-atom sequential baseline is still the
+    # slowest of the measured implementations — though since the mta1
+    # vectorisation the margin at this size is single-digit multiples,
+    # not the paper's three orders of magnitude (which the calibrated
+    # model above still reproduces).
     measured = {
         r.label: r.measured_python_us
         for r in result.rows
         if r.measured_python_us is not None
     }
-    assert measured["mta1"] > 3 * measured["qrm-cpu"]
+    assert measured["mta1"] == max(measured.values())

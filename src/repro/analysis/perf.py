@@ -12,8 +12,9 @@ vectorised scheduler vs. the live per-command reference oracle
 (:func:`repro.core.passes.run_pass_reference`) and vs. the pinned
 pre-vectorization seed implementation
 (:mod:`repro.analysis.seed_baseline`) — plus one *component speedup*
-entry per additionally vectorised stage (repair, Tetris, PSCA), each
-timed against its live ``*_reference`` oracle.  Both the "before" and
+entry per additionally vectorised stage (repair, Tetris, PSCA, MTA1,
+and the guarded pipelined-mode drain), each timed against its live
+``*_reference`` oracle.  Both the "before" and
 "after" numbers of every vectorisation live in the same file, and
 :func:`validate_bench_report` pins the JSON layout so the artefact
 cannot silently drift.
@@ -41,11 +42,12 @@ from repro.baselines.base import get_algorithm
 from repro.lattice.geometry import ArrayGeometry
 from repro.lattice.loading import load_uniform
 
-#: Bump when the JSON layout changes.
-BENCH_SCHEMA_VERSION = 2
+#: Bump when the JSON layout changes (v3: the required component set
+#: grew mta1 + guarded_drain when those paths were vectorised).
+BENCH_SCHEMA_VERSION = 3
 
 #: Components with a live vectorised-vs-reference speedup measurement.
-COMPONENT_NAMES = ("repair", "tetris", "psca")
+COMPONENT_NAMES = ("repair", "tetris", "psca", "mta1", "guarded_drain")
 
 DEFAULT_SIZES = (32, 64, 128)
 DEFAULT_FILLS = (0.3, 0.5, 0.7)
@@ -53,8 +55,11 @@ DEFAULT_ALGORITHMS = ("qrm", "tetris", "psca", "mta1")
 
 #: Largest array each slow scheduler is benchmarked at by default.
 #: Cases beyond a cap are recorded in the report's ``skipped`` list —
-#: never silently dropped (mta1 is ~1 minute per 128x128 schedule).
-SIZE_CAPS: dict[str, int] = {"mta1": 64}
+#: never silently dropped.  Empty since the mta1 vectorisation: every
+#: default algorithm now covers the full default grid (the per-command
+#: mta1 needed ~1 minute per 128x128 schedule; the vectorised one runs
+#: it in seconds).
+SIZE_CAPS: dict[str, int] = {}
 
 
 @dataclass(frozen=True)
@@ -332,6 +337,7 @@ def measure_baseline_speedup(
     master_seed: int = 0,
 ) -> dict:
     """Time a baseline scheduler against its ``*Reference`` oracle."""
+    from repro.baselines.mta1 import Mta1Scheduler, Mta1SchedulerReference
     from repro.baselines.psca import PscaScheduler, PscaSchedulerReference
     from repro.baselines.tetris import (
         TetrisScheduler,
@@ -341,6 +347,7 @@ def measure_baseline_speedup(
     factories = {
         "tetris": (TetrisScheduler, TetrisSchedulerReference),
         "psca": (PscaScheduler, PscaSchedulerReference),
+        "mta1": (Mta1Scheduler, Mta1SchedulerReference),
     }
     vectorized, reference = factories[component]
     geometry = ArrayGeometry.square(size)
@@ -355,6 +362,53 @@ def measure_baseline_speedup(
     return _speedup_block(size, fill, timings)
 
 
+def measure_guarded_drain_speedup(
+    size: int = 64,
+    fill: float = 0.5,
+    trials: int = 3,
+    master_seed: int = 0,
+) -> dict:
+    """Time the guarded (pipelined-mode) column pass under both drains.
+
+    The guarded drain is the paper's pipelined scan mode: the column
+    pass analyses the iteration-start snapshot while executing against
+    the live grid the row pass already changed.  Each trial reproduces
+    exactly that state — a fresh load, one row pass — and then times the
+    guarded column pass of the vectorised closed-form drain against the
+    per-round reference, both draining copies of the same live grid.
+    """
+    from repro.core.passes import Phase, run_pass, run_pass_reference
+    from repro.lattice.array import AtomArray
+    from repro.lattice.geometry import Quadrant
+
+    geometry = ArrayGeometry.square(size)
+    frames = {q: geometry.quadrant_frame(q) for q in Quadrant}
+
+    def make_input(index: int) -> tuple:
+        array = load_uniform(geometry, fill, rng=master_seed + index)
+        snapshot = array.grid.copy()
+        run_pass(array, frames, Phase.ROW, scan_source=array.grid)
+        return array.grid, snapshot
+
+    def run(pass_runner, trial_input) -> None:
+        live, snapshot = trial_input
+        pass_runner(
+            AtomArray(geometry, live),  # AtomArray copies on ingest
+            frames,
+            Phase.COLUMN,
+            scan_source=snapshot,
+            guard=True,
+        )
+
+    timings = _interleaved_timings(
+        trials,
+        make_input,
+        lambda trial_input: run(run_pass, trial_input),
+        lambda trial_input: run(run_pass_reference, trial_input),
+    )
+    return _speedup_block(size, fill, timings)
+
+
 def measure_component_speedups(
     size: int = 64,
     fill: float = 0.5,
@@ -362,8 +416,11 @@ def measure_component_speedups(
     master_seed: int = 0,
 ) -> dict[str, dict]:
     """All per-component before/after blocks (:data:`COMPONENT_NAMES`)."""
-    blocks = {"repair": measure_repair_speedup(size, fill, trials, master_seed)}
-    for component in ("tetris", "psca"):
+    blocks = {
+        "repair": measure_repair_speedup(size, fill, trials, master_seed),
+        "guarded_drain": measure_guarded_drain_speedup(size, fill, trials, master_seed),
+    }
+    for component in ("tetris", "psca", "mta1"):
         blocks[component] = measure_baseline_speedup(
             component, size, fill, trials, master_seed
         )
@@ -382,11 +439,11 @@ def run_perf_suite(
 ) -> PerfReport:
     """Time schedule construction over the benchmark grid.
 
-    ``size_caps`` bounds slow schedulers (default :data:`SIZE_CAPS`);
-    capped cases land in the report's ``skipped`` list.  With
-    ``speedup_size`` set, the QRM before/after speedup block *and* the
-    per-component repair/Tetris/PSCA blocks are measured at that size
-    (``None`` skips them, e.g. in CI smoke mode).
+    ``size_caps`` bounds slow schedulers (default :data:`SIZE_CAPS`,
+    now empty); capped cases land in the report's ``skipped`` list.
+    With ``speedup_size`` set, the QRM before/after speedup block *and*
+    the per-component blocks (:data:`COMPONENT_NAMES`) are measured at
+    that size (``None`` skips them, e.g. in CI smoke mode).
     """
     caps = SIZE_CAPS if size_caps is None else size_caps
     report = PerfReport(master_seed=master_seed, trials=trials)
@@ -398,8 +455,8 @@ def run_perf_suite(
                     {
                         "algorithm": algorithm,
                         "size": size,
-                        "reason": f"size above default cap {cap} "
-                        f"(pass --no-size-caps to include)",
+                        "reason": f"size above cap {cap} "
+                        f"(pass size_caps={{}} to include)",
                     }
                 )
                 continue

@@ -31,14 +31,12 @@ property-tested to emit bit-identical schedules
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.aod.executor import apply_parallel_move
 from repro.aod.move import LineShift, ParallelMove
 from repro.aod.schedule import MoveSchedule
-from repro.core.result import RearrangementResult
+from repro.core.result import RearrangementResult, timed_schedule
 from repro.core.scan import scan_quadrant
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import ArrayGeometry, Direction
@@ -163,7 +161,9 @@ class PscaScheduler:
     def schedule(self, array: AtomArray) -> RearrangementResult:
         if array.geometry != self.geometry:
             raise ValueError("array geometry does not match the scheduler's geometry")
-        t_start = time.perf_counter()
+        return timed_schedule(lambda: self._analyse(array))
+
+    def _analyse(self, array: AtomArray) -> RearrangementResult:
         live = array.copy()
         moves = MoveSchedule(self.geometry, algorithm=self.name)
         ops = 0
@@ -192,7 +192,6 @@ class PscaScheduler:
             schedule=moves,
             converged=converged,
             analysis_ops=ops,
-            wall_time_s=time.perf_counter() - t_start,
         )
 
 

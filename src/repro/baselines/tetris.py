@@ -35,14 +35,12 @@ are property-tested to emit bit-identical schedules
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.aod.executor import apply_parallel_move
 from repro.aod.move import LineShift, ParallelMove
 from repro.aod.schedule import MoveSchedule
-from repro.core.result import RearrangementResult
+from repro.core.result import RearrangementResult, timed_schedule
 from repro.core.scan import scan_line
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import ArrayGeometry, Direction
@@ -168,7 +166,9 @@ class TetrisScheduler:
     def schedule(self, array: AtomArray) -> RearrangementResult:
         if array.geometry != self.geometry:
             raise ValueError("array geometry does not match the scheduler's geometry")
-        t_start = time.perf_counter()
+        return timed_schedule(lambda: self._analyse(array))
+
+    def _analyse(self, array: AtomArray) -> RearrangementResult:
         live = array.copy()
         moves = MoveSchedule(self.geometry, algorithm=self.name)
         target = self.geometry.target_region
@@ -196,7 +196,6 @@ class TetrisScheduler:
             schedule=moves,
             converged=unresolved == 0,
             analysis_ops=ops,
-            wall_time_s=time.perf_counter() - t_start,
             unresolved_defects=unresolved,
         )
 

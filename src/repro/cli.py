@@ -171,7 +171,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.smoke:
         sizes = args.sizes or [16, 32]
         fills = args.fills or [0.5]
-        algorithms = args.algorithms or ["qrm", "tetris"]
+        algorithms = args.algorithms or ["qrm", "tetris", "mta1"]
         trials = args.trials or 2
         speedup_size = args.speedup_size or 32
     else:
@@ -199,7 +199,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         algorithms=algorithms,
         trials=trials,
         master_seed=args.seed,
-        size_caps={} if args.no_size_caps else None,
         speedup_size=None if args.no_speedup else speedup_size,
         observer=observer,
     )
@@ -303,6 +302,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     try:
         result = campaign.run()
     except KeyboardInterrupt:
+        # Both interrupt paths exit with the conventional SIGINT code
+        # 130; only the journalled one leaves anything to resume from.
         if journal is not None:
             print(
                 f"[campaign interrupted — resume with: "
@@ -311,8 +312,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             )
         else:
             print(
-                "[campaign interrupted — re-run with --journal to make "
-                "runs resumable]",
+                "[campaign interrupted — no journal was recorded, so "
+                "partial progress is discarded; re-run with --journal "
+                "to make runs resumable]",
                 file=sys.stderr,
             )
         return 130
@@ -577,15 +579,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the QRM before/after speedup block",
     )
     p.add_argument(
-        "--no-size-caps",
-        action="store_true",
-        help="also run slow baselines above their default "
-        "size caps (mta1 at 128 takes ~1 minute/trial)",
-    )
-    p.add_argument(
         "--smoke",
         action="store_true",
-        help="small fast grid for CI (qrm+tetris at 16/32)",
+        help="small fast grid for CI (qrm+tetris+mta1 at 16/32)",
     )
     p.add_argument(
         "--quiet", action="store_true", help="suppress per-case progress on stderr"

@@ -36,7 +36,6 @@ import numpy as np
 from repro.aod.executor import apply_parallel_move
 from repro.aod.move import LineShift, ParallelMove
 from repro.core.scan import LineScanResult, scan_axis, scan_quadrant
-from repro.errors import MoveError
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import Direction, Quadrant, QuadrantFrame
 
@@ -333,16 +332,15 @@ class _CommandTable:
     """All pending commands of one pass as flat per-state NumPy arrays.
 
     One *state* is one line with at least one command.  Command ``k`` of
-    every state drains in round ``k``; per-command hole positions live in
-    ``holes_flat`` at ``offsets[state] + k``.  States are ordered by
-    descending command count so the states active in round ``k`` are
-    always the prefix ``[:m]`` — the guarded drain slices instead of
-    gathering.  (State order never reaches the schedule: batches are
-    explicitly sorted by round/direction/hole/line at emission.)
+    every state drains in round ``k``; ``holes_flat`` holds each state's
+    scanned hole positions contiguously in state order, so the flat index
+    of command ``k`` of state ``s`` is ``first_of[s] + k`` — with states
+    in scan order, simply ``np.repeat``/``arange`` arithmetic.  (State
+    order never reaches the schedule: batches are explicitly sorted by
+    round/direction/hole/line at emission.)
     """
 
     n_holes: np.ndarray  # commands per state
-    offsets: np.ndarray  # start of each state's slice of holes_flat
     holes_flat: np.ndarray  # concatenated scanned hole positions
     line_full: np.ndarray  # full-array line index per state
     span_base: np.ndarray  # affine base on the span axis, per state
@@ -406,22 +404,15 @@ def _build_command_table(
         )
     if not chunks:
         return None, scans
-    n_holes = np.concatenate([c[0] for c in chunks])
-    offsets = np.zeros(n_holes.size, dtype=np.intp)
-    np.cumsum(n_holes[:-1], out=offsets[1:])
-    # Busiest states first: offsets still point into the untouched
-    # holes_flat, so only the per-state columns are permuted.
-    by_depth = np.argsort(-n_holes, kind="stable")
     table = _CommandTable(
-        n_holes=n_holes[by_depth],
-        offsets=offsets[by_depth],
+        n_holes=np.concatenate([c[0] for c in chunks]),
         holes_flat=np.concatenate([c[1] for c in chunks]),
-        line_full=np.concatenate([c[2] for c in chunks])[by_depth],
-        span_base=np.concatenate([c[3] for c in chunks])[by_depth],
-        span_sign=np.concatenate([c[4] for c in chunks])[by_depth],
-        n_positions=np.concatenate([c[5] for c in chunks])[by_depth],
-        dir_rank=np.concatenate([c[6] for c in chunks])[by_depth],
-        quad_rank=np.concatenate([c[7] for c in chunks])[by_depth],
+        line_full=np.concatenate([c[2] for c in chunks]),
+        span_base=np.concatenate([c[3] for c in chunks]),
+        span_sign=np.concatenate([c[4] for c in chunks]),
+        n_positions=np.concatenate([c[5] for c in chunks]),
+        dir_rank=np.concatenate([c[6] for c in chunks]),
+        quad_rank=np.concatenate([c[7] for c in chunks]),
     )
     return table, scans
 
@@ -449,45 +440,54 @@ def _apply_net_compaction(grid: np.ndarray, frame, scan) -> None:
     frame.insert(grid, compacted)
 
 
-def _apply_round_batch(
+def _apply_guarded_compaction(
     grid: np.ndarray,
     horizontal: bool,
     lines: np.ndarray,
-    span_start: np.ndarray,
-    span_stop: np.ndarray,
-    signs: np.ndarray,
+    span_base: np.ndarray,
+    span_sign: np.ndarray,
+    n_positions: np.ndarray,
+    hole_seg: np.ndarray,
+    hole_pos: np.ndarray,
 ) -> None:
-    """Apply one round's suffix shifts to ``grid`` in a single scatter.
+    """Apply a guarded pass's net effect to ``grid`` in one gather/scatter.
 
-    Shifts of one round touch pairwise-disjoint line segments (one
-    command per line per round, mirror quadrants own disjoint halves),
-    so every segment can gather-then-scatter simultaneously.  Each
-    segment advances one site into its hole, whose emptiness the
-    scan/guard semantics guarantee — re-checked here so a violated
-    invariant raises :class:`~repro.errors.MoveError` just like the
-    general executor would.
+    ``lines``/``span_base``/``span_sign``/``n_positions`` describe the
+    half-line segments (one per state with at least one executed
+    command); ``hole_seg``/``hole_pos`` are the executed holes as
+    (segment index, pass-start local position) pairs.  The net effect of
+    a segment's executed commands is closed-form: each atom slides
+    inward by the number of executed holes inboard of it, and the
+    vacated outboard cells empty — the guarded analogue of
+    :func:`_apply_net_compaction`, against the live occupancy instead of
+    the scan source.  Segments are pairwise disjoint (one state per
+    quadrant half-line), so all of them gather and scatter at once.
     """
-    leading = np.where(signs > 0, span_stop, span_start - 1)
-    occupied = grid[lines, leading] if horizontal else grid[leading, lines]
-    if occupied.any():
-        bad = int(lines[np.nonzero(occupied)[0][0]])
-        raise MoveError(f"line {bad}: segment collides with a static atom")
-    lengths = span_stop - span_start
     seg_start = np.zeros(lines.size, dtype=np.intp)
-    np.cumsum(lengths[:-1], out=seg_start[1:])
-    ramp = np.arange(int(lengths.sum())) - np.repeat(seg_start, lengths)
-    pos = np.repeat(span_start, lengths) + ramp
-    line_rep = np.repeat(lines, lengths)
-    shifted = pos + np.repeat(signs, lengths)
-    trailing = np.where(signs > 0, span_start, span_stop - 1)
+    np.cumsum(n_positions[:-1], out=seg_start[1:])
+    total = int(n_positions.sum())
+    seg_rep = np.repeat(np.arange(lines.size), n_positions)
+    local = np.arange(total) - np.repeat(seg_start, n_positions)
+    base = span_base[seg_rep]
+    sign = span_sign[seg_rep]
+    line_rep = lines[seg_rep]
+    coord = base + sign * local
+    occupancy = grid[line_rep, coord] if horizontal else grid[coord, line_rep]
+    # consumed[i] = executed holes inboard of local position i.  Executed
+    # holes sit on empty cells, so the inclusive cumsum is exact at every
+    # atom position.
+    markers = np.zeros(total, dtype=np.intp)
+    markers[seg_start[hole_seg] + hole_pos] = 1
+    csum = np.cumsum(markers)
+    consumed = csum - (csum[seg_start] - markers[seg_start])[seg_rep]
+    atoms = np.nonzero(occupancy)[0]
+    new_coord = base[atoms] + sign[atoms] * (local[atoms] - consumed[atoms])
     if horizontal:
-        values = grid[line_rep, pos]
-        grid[line_rep, shifted] = values
-        grid[lines, trailing] = False
+        grid[line_rep, coord] = False
+        grid[line_rep[atoms], new_coord] = True
     else:
-        values = grid[pos, line_rep]
-        grid[shifted, line_rep] = values
-        grid[trailing, lines] = False
+        grid[coord, line_rep] = False
+        grid[new_coord, line_rep[atoms]] = True
 
 
 def _emit_round_groups(
@@ -580,13 +580,16 @@ def run_pass(
 
     Vectorised implementation: emits exactly the schedule of
     :func:`run_pass_reference` (bit-identical moves, tags, and order),
-    but drains whole rounds as NumPy arrays.  Without the guard the
+    but drains whole passes as NumPy arrays.  Without the guard the
     entire drain order is statically known — every state consumes one
     command per round, so command ``k`` of a line executes in round
     ``k`` with ``k`` earlier shifts applied — and the full pass reduces
-    to one ``lexsort``.  With the guard, rounds are drained one at a
-    time so skips (which desynchronise the per-line executed counts)
-    read the live grid exactly as the reference does.
+    to one ``lexsort``.  With the guard, each command's fate is *still*
+    closed-form, because a command's stale/empty checks only ever read
+    its own half-line, whose within-pass evolution is fully determined
+    by the pass-start occupancy (see the derivation inline below) — so
+    guarded passes, too, apply one gather/scatter total instead of one
+    per round.
     """
     outcome = PassOutcome(phase=phase)
     table, scans = _build_command_table(outcome, frames, phase, scan_source, scan_limit)
@@ -595,16 +598,17 @@ def run_pass(
     grid = array.grid
     horizontal = phase is Phase.ROW
 
+    state_of = np.repeat(np.arange(table.n_states), table.n_holes)
+    first_of = np.zeros(table.n_states, dtype=np.intp)
+    np.cumsum(table.n_holes[:-1], out=first_of[1:])
+    round_of = np.arange(state_of.size) - first_of[state_of]
+
     if not guard:
         # Static drain: command k of every state runs in round k with
         # executed == k, so cur/spans for the whole pass come from one
         # sweep of flat array arithmetic, and the grid jumps straight to
         # each quadrant's net compaction.
-        state_of = np.repeat(np.arange(table.n_states), table.n_holes)
-        first_of = np.zeros(table.n_states, dtype=np.intp)
-        np.cumsum(table.n_holes[:-1], out=first_of[1:])
-        round_of = np.arange(state_of.size) - first_of[state_of]
-        cur = table.holes_flat[table.offsets[state_of] + round_of] - round_of
+        cur = table.holes_flat - round_of
         span_base = table.span_base[state_of]
         span_sign = table.span_sign[state_of]
         a = span_base + span_sign * (cur + 1)
@@ -626,103 +630,93 @@ def run_pass(
                 _apply_net_compaction(grid, frame, scan)
         return outcome
 
-    # Guarded drain: skips advance a state's command stream without
-    # counting as executed shifts, so rounds are processed one at a time
-    # against the live grid.  Surviving commands are stashed and
-    # materialised as moves in one batch after the drain — the emit
-    # order (round, direction, batch key) is the same either way.
-    executed = np.zeros(table.n_states, dtype=np.intp)
-    survivors: list[tuple] = []
-    depth_desc = -table.n_holes  # ascending, for the prefix search
-    for round_index in range(int(table.n_holes[0])):
-        # States with more than round_index commands form a prefix of
-        # the depth-sorted table.
-        m = int(np.searchsorted(depth_desc, -round_index, side="left"))
-        cur = (table.holes_flat[table.offsets[:m] + round_index] - executed[:m])
+    # Guarded drain, closed form.  The guard of command k of a state
+    # depends only on that state's own half-line at pass start: commands
+    # execute in ascending scanned-hole order, so every shift executed
+    # before command k deleted an empty cell *inboard* of its hole h_k
+    # and appended an empty cell at the outboard end.  Hence the live
+    # cell the round-k stale check reads (local h_k - executed) is the
+    # pass-start cell at h_k, and the live span the empty check scans is
+    # exactly the pass-start suffix beyond h_k — neither depends on the
+    # round it runs in:
+    #
+    #   stale(k)  <=>  live-at-pass-start[h_k] occupied
+    #   empty(k)  <=>  no pass-start atom outboard of h_k
+    #
+    # so every command's fate, its executed-before count (a per-state
+    # cumulative sum of the fates), and the pass's net grid effect all
+    # come from one sweep of array arithmetic — no per-round loop.
+    holes = table.holes_flat
+    line_full = table.line_full[state_of]
+    span_base = table.span_base[state_of]
+    span_sign = table.span_sign[state_of]
+    n_positions = table.n_positions[state_of]
 
-        # Stale commands: the hole was filled by an earlier move.
-        span_coord = table.span_base[:m] + table.span_sign[:m] * cur
+    hole_coord = span_base + span_sign * holes
+    if horizontal:
+        stale = grid[line_full, hole_coord]
+        prefix = np.zeros((grid.shape[0], grid.shape[1] + 1), dtype=np.intp)
+        np.cumsum(grid, axis=1, out=prefix[:, 1:])
+    else:
+        stale = grid[hole_coord, line_full]
+        prefix = np.zeros((grid.shape[0] + 1, grid.shape[1]), dtype=np.intp)
+        np.cumsum(grid, axis=0, out=prefix[1:, :])
+
+    has_suffix = np.zeros(holes.size, dtype=bool)
+    inner = np.nonzero(holes + 1 < n_positions)[0]
+    if inner.size:
+        sign = span_sign[inner]
+        a = span_base[inner] + sign * (holes[inner] + 1)
+        b = span_base[inner] + sign * (n_positions[inner] - 1)
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
         if horizontal:
-            stale = grid[table.line_full[:m], span_coord]
+            counts = prefix[line_full[inner], hi + 1] - prefix[line_full[inner], lo]
         else:
-            stale = grid[span_coord, table.line_full[:m]]
-        keep = np.nonzero(~stale)[0]
-        outcome.n_skipped_stale += m - keep.size
-        cur = cur[keep]
+            counts = prefix[hi + 1, line_full[inner]] - prefix[lo, line_full[inner]]
+        has_suffix[inner] = counts > 0
 
-        # Empty commands: no atom left in the span to pull inward.
-        local_lo = cur + 1
-        local_hi = table.n_positions[keep] - executed[keep]
-        empty = local_lo >= local_hi
-        populated = np.nonzero(~empty)[0]
-        if populated.size:
-            sub = keep[populated]
-            sign = table.span_sign[sub]
-            a = table.span_base[sub] + sign * local_lo[populated]
-            b = table.span_base[sub] + sign * (local_hi[populated] - 1)
-            lo = np.minimum(a, b)
-            hi = np.maximum(a, b)
-            if horizontal:
-                prefix = np.zeros((grid.shape[0], grid.shape[1] + 1), dtype=np.intp)
-                np.cumsum(grid, axis=1, out=prefix[:, 1:])
-                counts = (
-                    prefix[table.line_full[sub], hi + 1]
-                    - prefix[table.line_full[sub], lo]
-                )
-            else:
-                prefix = np.zeros((grid.shape[0] + 1, grid.shape[1]), dtype=np.intp)
-                np.cumsum(grid, axis=0, out=prefix[1:, :])
-                counts = (
-                    prefix[hi + 1, table.line_full[sub]]
-                    - prefix[lo, table.line_full[sub]]
-                )
-            empty[populated] = counts == 0
-        outcome.n_skipped_empty += int(np.count_nonzero(empty))
-        alive = keep[~empty]
-        cur = cur[~empty]
-        if not alive.size:
-            continue
+    executes = ~stale & has_suffix
+    outcome.n_skipped_stale = int(np.count_nonzero(stale))
+    outcome.n_skipped_empty = int(np.count_nonzero(~stale & ~has_suffix))
 
-        sign = table.span_sign[alive]
-        a = table.span_base[alive] + sign * (cur + 1)
-        b = table.span_base[alive] + sign * (
-            table.n_positions[alive] - executed[alive] - 1
-        )
-        span_start = np.minimum(a, b)
-        span_stop = np.maximum(a, b) + 1
-        survivors.append(
-            (
-                np.full(alive.size, round_index),
-                table.dir_rank[alive],
-                cur,
-                table.quad_rank[alive],
-                table.line_full[alive],
-                span_start,
-                span_stop,
-            )
-        )
-        _apply_round_batch(
-            grid,
-            horizontal,
-            lines=table.line_full[alive],
-            span_start=span_start,
-            span_stop=span_stop,
-            signs=1 - 2 * table.dir_rank[alive],
-        )
-        executed[alive] += 1
+    # Shifts executed before command k on its own line: the exclusive
+    # per-state running count of executing commands.
+    inclusive = np.cumsum(executes)
+    exclusive = inclusive - executes
+    executed_before = exclusive - exclusive[first_of][state_of]
 
-    if survivors:
-        columns = [np.concatenate(parts) for parts in zip(*survivors)]
+    alive = np.nonzero(executes)[0]
+    if alive.size:
+        cur = holes[alive] - executed_before[alive]
+        sign = span_sign[alive]
+        a = span_base[alive] + sign * (cur + 1)
+        b = span_base[alive] + sign * (n_positions[alive] - executed_before[alive] - 1)
         _emit_round_groups(
             outcome,
             phase,
             merge_mirror,
-            round_of=columns[0],
-            dir_rank=columns[1],
-            cur=columns[2],
-            quad_rank=columns[3],
-            line_full=columns[4],
-            span_start=columns[5],
-            span_stop=columns[6],
+            round_of=round_of[alive],
+            dir_rank=table.dir_rank[state_of[alive]],
+            cur=cur,
+            quad_rank=table.quad_rank[state_of[alive]],
+            line_full=line_full[alive],
+            span_start=np.minimum(a, b),
+            span_stop=np.maximum(a, b) + 1,
+        )
+        # One gather/scatter applies the whole pass: compact each touched
+        # half-line around its executed holes.
+        touched = np.unique(state_of[alive])
+        seg_index = np.zeros(table.n_states, dtype=np.intp)
+        seg_index[touched] = np.arange(touched.size)
+        _apply_guarded_compaction(
+            grid,
+            horizontal,
+            lines=table.line_full[touched],
+            span_base=table.span_base[touched],
+            span_sign=table.span_sign[touched],
+            n_positions=table.n_positions[touched],
+            hole_seg=seg_index[state_of[alive]],
+            hole_pos=holes[alive],
         )
     return outcome

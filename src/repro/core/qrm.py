@@ -21,13 +21,12 @@ target defects with individual atom moves; see :mod:`repro.core.repair`.
 
 from __future__ import annotations
 
-import time
 from typing import Callable
 
 from repro.aod.schedule import MoveSchedule
 from repro.config import DEFAULT_QRM_PARAMETERS, QrmParameters, ScanMode
 from repro.core.passes import Phase, PassOutcome, run_pass
-from repro.core.result import IterationStats, RearrangementResult
+from repro.core.result import IterationStats, RearrangementResult, timed_schedule
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import ArrayGeometry, Quadrant
 
@@ -62,7 +61,9 @@ class QrmScheduler:
         """Analyse ``array`` and produce the full movement schedule."""
         if array.geometry != self.geometry:
             raise ValueError("array geometry does not match the scheduler's geometry")
-        t_start = time.perf_counter()
+        return timed_schedule(lambda: self._analyse(array))
+
+    def _analyse(self, array: AtomArray) -> RearrangementResult:
         live = array.copy()
         moves = MoveSchedule(self.geometry, algorithm=self.name)
         iteration_stats: list[IterationStats] = []
@@ -141,7 +142,6 @@ class QrmScheduler:
             result.repair_moves = len(repair_outcome.moves)
             result.unresolved_defects = repair_outcome.unresolved
 
-        result.wall_time_s = time.perf_counter() - t_start
         return result
 
 

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.aod.schedule import MoveSchedule
 from repro.lattice.array import AtomArray
@@ -78,3 +80,22 @@ class RearrangementResult:
             f"{self.target_fill_fraction:.1%} ({self.defects} defects), "
             f"analysis {self.wall_time_s * 1e6:.1f} us"
         )
+
+
+def timed_schedule(
+    analyse: Callable[[], RearrangementResult],
+) -> RearrangementResult:
+    """Run one scheduler analysis and stamp its wall-clock on the result.
+
+    Every registered algorithm measures ``wall_time_s`` through this one
+    helper, so the field always covers the same span: the full analysis,
+    from the first scan to the completely built result (post-passes such
+    as QRM's repair stage included).  Schedulers previously hand-rolled
+    their own ``perf_counter`` scopes, which drifted subtly — QRM stamped
+    the field post-hoc after repair while the baselines stamped it inside
+    result construction.
+    """
+    start = time.perf_counter()
+    result = analyse()
+    result.wall_time_s = time.perf_counter() - start
+    return result

@@ -15,9 +15,9 @@ on:
   :func:`assert_repair_outcomes_identical`) that spell out exactly what
   "bit-identical" means for each artefact.
 
-Used by ``test_pass_equivalence.py`` (QRM pass),
-``test_repair_equivalence.py`` (repair stage),
-``test_baseline_equivalence.py`` (Tetris/PSCA),
+Used by ``test_pass_equivalence.py`` (QRM pass, guarded drain x
+``s_en``), ``test_repair_equivalence.py`` (repair stage),
+``test_baseline_equivalence.py`` (Tetris/PSCA/MTA1),
 ``test_executor_batch.py`` (batched replay), and — via the
 :func:`campaign_specs` grids — ``test_journal.py`` (journal
 crash-consistency against the clean-run oracle).
@@ -35,6 +35,21 @@ from repro.lattice.geometry import ArrayGeometry
 #: to exercise uneven quadrants and off-centre targets.
 SIZES = (4, 6, 8, 10, 12)
 TARGETS = (2, 4, 6)
+
+#: Size pool for pass-drain edge cases: includes the degenerate size-2
+#: geometry whose quadrants are single positions (every scanned line has
+#: at most zero commands, and any guard skip empties its round).
+PASS_EDGE_SIZES = (2,) + SIZES
+
+
+def scan_limits(max_limit: int = 3):
+    """``s_en`` bounds for pass strategies, ``None`` plus tight limits.
+
+    A limit of 1 is always smaller than the deepest command list of any
+    line with two or more holes, so drains that mix limited and
+    exhausted states are exercised alongside the unlimited case.
+    """
+    return st.one_of(st.none(), st.integers(min_value=1, max_value=max_limit))
 
 
 @st.composite

@@ -1,10 +1,11 @@
-"""Tetris/PSCA baselines: vectorised planners == per-site references.
+"""Tetris/PSCA/MTA1 baselines: vectorised planners == references.
 
-The vectorised :class:`TetrisScheduler` and :class:`PscaScheduler` must
-emit exactly the schedules of their per-site re-scanning references —
-same moves, tags, order, analysis-op counts, convergence flags, and
-final grids — across random geometry x fill x loss inputs, and those
-schedules must replay cleanly through the independent validator.
+The vectorised :class:`TetrisScheduler`, :class:`PscaScheduler`, and
+:class:`Mta1Scheduler` must emit exactly the schedules of their
+re-scanning references — same moves, tags, order, analysis-op counts,
+convergence flags, and final grids — across random geometry x fill x
+loss inputs, and those schedules must replay cleanly through the
+independent validator.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from hypothesis import strategies as st
 from oracles import assert_results_identical, atom_arrays
 
 from repro.aod.validator import validate_schedule
+from repro.baselines.mta1 import Mta1Scheduler, Mta1SchedulerReference
 from repro.baselines.psca import PscaScheduler, PscaSchedulerReference
 from repro.baselines.tetris import TetrisScheduler, TetrisSchedulerReference
 
@@ -53,6 +55,35 @@ def test_psca_schedule_replays_cleanly(array):
     report = validate_schedule(array, result.schedule)
     assert report.ok
     assert report.final_array == result.final
+
+
+@given(atom_arrays())
+@settings(max_examples=60, deadline=None)
+def test_mta1_bit_identical_to_reference(array):
+    ours = Mta1Scheduler(array.geometry).schedule(array)
+    expected = Mta1SchedulerReference(array.geometry).schedule(array)
+    assert_results_identical(ours, expected)
+
+
+@given(atom_arrays())
+@settings(max_examples=30, deadline=None)
+def test_mta1_schedule_replays_cleanly(array):
+    result = Mta1Scheduler(array.geometry).schedule(array)
+    report = validate_schedule(array, result.schedule)
+    assert report.ok
+    assert report.final_array == result.final
+
+
+@given(atom_arrays())
+@settings(max_examples=30, deadline=None)
+def test_mta1_moves_are_single_site_legs(array):
+    # MTA1's defining property: one tweezer, one atom — every emitted
+    # move is a single LineShift spanning exactly one site.
+    result = Mta1Scheduler(array.geometry).schedule(array)
+    for move in result.schedule:
+        assert len(move) == 1
+        (shift,) = move.shifts
+        assert shift.span_stop - shift.span_start == 1
 
 
 @given(atom_arrays())

@@ -36,8 +36,23 @@ def test_committed_bench_artifact_validates(committed_payload):
 def test_committed_bench_has_all_component_speedups(committed_payload):
     components = committed_payload["component_speedups"]
     assert set(components) == set(COMPONENT_NAMES)
+    assert {"mta1", "guarded_drain"} <= set(components)
     for block in components.values():
         assert block["speedup_vs_reference"] > 1.0
+
+
+def test_committed_bench_covers_mta1_on_the_full_grid(committed_payload):
+    # The headline QRM-vs-MTA1 comparison must be regenerable at scale:
+    # mta1 rides the whole default grid and is never in the skip list.
+    from repro.analysis.perf import DEFAULT_SIZES
+
+    mta1_sizes = {
+        entry["size"]
+        for entry in committed_payload["entries"]
+        if entry["algorithm"] == "mta1"
+    }
+    assert mta1_sizes == set(DEFAULT_SIZES)
+    assert all(skip["algorithm"] != "mta1" for skip in committed_payload["skipped"])
 
 
 def test_fresh_report_validates_end_to_end():

@@ -217,6 +217,35 @@ class TestCommands:
         assert "2 replayed from journal" in out
         assert clean_csv.read_bytes() == resumed_csv.read_bytes()
 
+    def test_campaign_interrupt_without_journal(self, capsys):
+        # No --journal: the interrupt still exits with the conventional
+        # SIGINT code 130, and the message says explicitly that nothing
+        # was recorded to resume from.
+        code = main(
+            [
+                "campaign",
+                "--name",
+                "no-journal",
+                "--algorithms",
+                "qrm",
+                "--sizes",
+                "8",
+                "--fills",
+                "0.5",
+                "--seeds",
+                "6",
+                "--no-cache",
+                "--quiet",
+                "--interrupt-after",
+                "2",
+            ]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "no journal was recorded" in err
+        assert "partial progress is discarded" in err
+        assert "--journal" in err
+
     def test_campaign_resume_flag_conflicts(self, capsys, tmp_path):
         journal = tmp_path / "run.jsonl"
         assert main(["campaign", "--resume", str(journal), "--spec", "x.json"]) == 2

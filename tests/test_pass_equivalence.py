@@ -16,9 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 from oracles import (
+    PASS_EDGE_SIZES,
     assert_moves_identical,
     assert_pass_outcomes_identical,
+    atom_arrays,
+    scan_limits,
 )
 
 from repro.analysis.seed_baseline import seed_run_pass
@@ -115,6 +120,111 @@ class TestSinglePassEquivalence:
                 guard=True,
             )
             assert_pass_outcomes_identical(outcome, expected)
+            assert np.array_equal(ours.grid, theirs.grid)
+
+
+class TestGuardedDrainProperties:
+    """Closed-form guarded drain == per-round reference, edge cases in.
+
+    The guarded ``run_pass`` no longer loops per round — every command's
+    stale/empty fate is derived from the pass-start occupancy in one
+    sweep.  These properties pin it to :func:`run_pass_reference` across
+    the shared oracle strategies, crossed with the ``s_en`` limit
+    (including limits smaller than the deepest command list),
+    single-position quadrants (size-2 geometries), and rounds that the
+    guard empties entirely.
+    """
+
+    @staticmethod
+    def _run_both(array, phase, merge, limit):
+        geometry = array.geometry
+        frames = _frames(geometry)
+        snapshot = array.grid.copy()
+        ours = array.copy()
+        theirs = array.copy()
+        # Stale the live grids first, exactly as the pipelined mode does.
+        run_pass(ours, frames, Phase.ROW, scan_source=ours.grid, merge_mirror=merge)
+        run_pass_reference(
+            theirs, frames, Phase.ROW, scan_source=theirs.grid, merge_mirror=merge
+        )
+        outcome = run_pass(
+            ours,
+            frames,
+            phase,
+            scan_source=snapshot,
+            merge_mirror=merge,
+            guard=True,
+            scan_limit=limit,
+        )
+        expected = run_pass_reference(
+            theirs,
+            frames,
+            phase,
+            scan_source=snapshot.copy(),
+            merge_mirror=merge,
+            guard=True,
+            scan_limit=limit,
+        )
+        return outcome, expected, ours, theirs
+
+    @given(
+        atom_arrays(sizes=PASS_EDGE_SIZES),
+        st.sampled_from([Phase.ROW, Phase.COLUMN]),
+        st.booleans(),
+        scan_limits(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_guarded_pass_bit_identical(self, array, phase, merge, limit):
+        outcome, expected, ours, theirs = self._run_both(array, phase, merge, limit)
+        assert_pass_outcomes_identical(outcome, expected)
+        assert np.array_equal(ours.grid, theirs.grid)
+
+    @given(atom_arrays(sizes=(2,)), scan_limits(max_limit=1))
+    @settings(max_examples=20, deadline=None)
+    def test_single_position_quadrants(self, array, limit):
+        # Size-2 geometries: every quadrant is one site, no line can ever
+        # carry a command, and both drains must agree on the nothing they
+        # emit.
+        outcome, expected, ours, theirs = self._run_both(
+            array, Phase.COLUMN, True, limit
+        )
+        assert_pass_outcomes_identical(outcome, expected)
+        assert outcome.n_commands == 0
+        assert outcome.moves == []
+        assert np.array_equal(ours.grid, theirs.grid)
+
+    def test_guard_can_empty_a_whole_round(self, rng):
+        # A snapshot whose every scanned command is stale or empty by
+        # execution time: the row pass fully compacts the live grid, so
+        # a guarded re-run of the *same* row snapshot skips everything.
+        geometry = ArrayGeometry.square(8, 4)
+        for _ in range(20):
+            grid = rng.random(geometry.shape) < 0.5
+            snapshot = grid.copy()
+            ours = AtomArray(geometry, grid.copy())
+            theirs = AtomArray(geometry, grid.copy())
+            run_pass(ours, _frames(geometry), Phase.ROW, scan_source=ours.grid)
+            run_pass_reference(
+                theirs, _frames(geometry), Phase.ROW, scan_source=theirs.grid
+            )
+            outcome = run_pass(
+                ours,
+                _frames(geometry),
+                Phase.ROW,
+                scan_source=snapshot,
+                guard=True,
+            )
+            expected = run_pass_reference(
+                theirs,
+                _frames(geometry),
+                Phase.ROW,
+                scan_source=snapshot.copy(),
+                guard=True,
+            )
+            assert_pass_outcomes_identical(outcome, expected)
+            assert outcome.n_executed == 0
+            skips = outcome.n_skipped_stale + outcome.n_skipped_empty
+            assert skips == outcome.n_commands
             assert np.array_equal(ours.grid, theirs.grid)
 
 
