@@ -55,9 +55,54 @@ def test_bench_perf_smoke(seed_base, results_dir, emit):
     assert speedup["speedup_vs_reference"] > 0
     components = payload["component_speedups"]
     assert set(components) == set(COMPONENT_NAMES)
-    for block in components.values():
+    for name, block in components.items():
+        if name == "batched_qrm":
+            assert block["single_ms"]["mean"] > 0
+            for entry in block["batches"]:
+                assert entry["amortized_ms"]["mean"] > 0
+                assert entry["speedup_vs_single"] > 0
+            continue
         assert block["vectorized_ms"]["mean"] > 0
         assert block["speedup_vs_reference"] > 0
+
+
+def test_batched_qrm_speedup_block_shape(seed_base):
+    from repro.analysis.perf import measure_batched_qrm_speedup
+
+    block = measure_batched_qrm_speedup(
+        size=16, batch_sizes=(1, 4), trials=1, master_seed=seed_base
+    )
+    assert set(block) >= {"size", "fill", "trials", "single_ms", "batches"}
+    assert [entry["batch_size"] for entry in block["batches"]] == [1, 4]
+    for entry in block["batches"]:
+        assert entry["amortized_ms"]["mean"] > 0
+
+
+def test_perf_gate_on_own_report(seed_base):
+    # A report always gates cleanly against itself, and the gate flags a
+    # fabricated collapse of any ratio it tracks.
+    from repro.analysis.perf_gate import check_perf_regression
+
+    report = run_perf_suite(
+        sizes=(16,),
+        fills=(0.5,),
+        algorithms=("qrm",),
+        trials=1,
+        master_seed=seed_base,
+        speedup_size=16,
+    ).to_dict()
+    assert check_perf_regression(report, report) == []
+
+    slipped = json.loads(json.dumps(report))
+    slipped["speedup"]["speedup_vs_reference"] = (
+        report["speedup"]["speedup_vs_reference"] * 0.5
+    )
+    slipped["component_speedups"]["batched_qrm"]["batches"][0][
+        "speedup_vs_single"
+    ] *= 0.5
+    failures = check_perf_regression(slipped, report)
+    assert any("qrm@16 speedup_vs_reference" in failure for failure in failures)
+    assert any("batched_qrm@16" in failure for failure in failures)
 
 
 def test_speedup_block_shape(seed_base):

@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 import statistics
 
-from repro import ArrayGeometry, QrmScheduler, load_uniform
+from repro import ArrayGeometry, get_algorithm, load_uniform, schedule_batch
 from repro.analysis.feasibility import (
     minimum_fill_for_target,
     predict_compaction_fill,
@@ -36,15 +36,19 @@ def main() -> None:
     args = parser.parse_args()
 
     geometry = ArrayGeometry.square(args.size, args.target)
-    scheduler = QrmScheduler(geometry)
+    scheduler = get_algorithm("qrm", geometry)
 
     rows = []
     for fill in (0.45, 0.50, 0.55, 0.60, 0.65, 0.70):
         predicted = predict_compaction_fill(geometry, fill)
-        measured = []
-        for seed in range(args.trials):
-            array = load_uniform(geometry, fill, rng=seed)
-            measured.append(scheduler.schedule(array).target_fill_fraction)
+        # All of one fill's seeded trials go through a single batched
+        # analysis — same results as scheduling them one by one, one
+        # NumPy dispatch sequence instead of ``trials``.
+        arrays = [load_uniform(geometry, fill, rng=seed) for seed in range(args.trials)]
+        measured = [
+            result.target_fill_fraction
+            for result in schedule_batch(scheduler, arrays)
+        ]
         rows.append(
             [
                 fill,

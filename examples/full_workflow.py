@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import ArrayGeometry, QrmScheduler, load_uniform, validate_schedule
+from repro import ArrayGeometry, get_algorithm, load_uniform, validate_schedule
 from repro.aod.timing import MoveTimingModel
 from repro.awg import compile_schedule
 from repro.detection import detect_occupancy, detection_fidelity, render_image
@@ -56,7 +56,7 @@ def main() -> None:
     )
 
     # -- 4. rearrangement analysis ---------------------------------------
-    result = QrmScheduler(geometry).schedule(detection.array)
+    result = get_algorithm("qrm", geometry).schedule(detection.array)
     report = validate_schedule(detection.array, result.schedule)
     assert report.ok
     print(f"[analyse]   {result.summary()}")

@@ -11,7 +11,7 @@ import argparse
 
 from repro import (
     ArrayGeometry,
-    QrmScheduler,
+    get_algorithm,
     load_uniform,
     render_side_by_side,
     validate_schedule,
@@ -34,8 +34,10 @@ def main() -> None:
     print(summarize(array).format())
     print()
 
-    # 2. Run the quadrant-based rearrangement method (QRM).
-    scheduler = QrmScheduler(geometry)
+    # 2. Run the quadrant-based rearrangement method (QRM), resolved
+    #    through the algorithm registry (swap the name to compare
+    #    baselines: "tetris", "psca", "mta1", ...).
+    scheduler = get_algorithm("qrm", geometry)
     result = scheduler.schedule(array)
     print(result.summary())
     print(result.schedule.summary())

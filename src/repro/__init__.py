@@ -5,8 +5,12 @@ Public API highlights
 ---------------------
 ``ArrayGeometry`` / ``AtomArray`` / ``load_uniform``
     the trap-array substrate;
-``QrmScheduler`` / ``rearrange``
-    the paper's algorithm, emitting validated ``MoveSchedule`` objects;
+``get_algorithm`` / ``schedule_batch``
+    the algorithm registry (resolve any scheduler by name) and the
+    batch-first dispatch that amortises analysis across trials;
+``QrmScheduler`` / ``BatchQrmScheduler``
+    the paper's algorithm, emitting validated ``MoveSchedule`` objects
+    (single-trial and cross-trial batched engines);
 ``QrmAccelerator``
     the cycle-level FPGA model reporting latency at 250 MHz;
 ``validate_schedule``
@@ -29,9 +33,16 @@ from repro.aod import (
     require_valid,
     validate_schedule,
 )
+from repro.baselines import get_algorithm, schedule_batch, supports_batch
 from repro.campaign import CampaignSpec, ExperimentCampaign, run_campaign
 from repro.config import DEFAULT_QRM_PARAMETERS, QrmParameters, ScanMode
-from repro.core import QrmScheduler, RearrangementResult, TypicalScheduler, rearrange
+from repro.core import (
+    BatchQrmScheduler,
+    QrmScheduler,
+    RearrangementResult,
+    TypicalScheduler,
+    rearrange,
+)
 from repro.lattice import (
     ArrayGeometry,
     AtomArray,
@@ -49,6 +60,7 @@ __all__ = [
     "AodConstraints",
     "ArrayGeometry",
     "AtomArray",
+    "BatchQrmScheduler",
     "CampaignSpec",
     "DEFAULT_QRM_PARAMETERS",
     "ExperimentCampaign",
@@ -65,11 +77,14 @@ __all__ = [
     "TypicalScheduler",
     "__version__",
     "execute_schedule",
+    "get_algorithm",
     "load_uniform",
     "rearrange",
     "render_array",
     "run_campaign",
     "render_side_by_side",
     "require_valid",
+    "schedule_batch",
+    "supports_batch",
     "validate_schedule",
 ]

@@ -1,0 +1,97 @@
+"""Speedup regression gate over committed ``BENCH_*.json`` artefacts.
+
+Raw wall-clock numbers are machine-dependent, so the gate never compares
+milliseconds across reports.  It compares the *dimensionless speedup
+ratios* — vectorised-vs-reference per component, batched-vs-serial per
+batch size — which are measured interleaved within one run and therefore
+transfer between machines.  A fresh report passes when every ratio it
+shares with the baseline is within ``tolerance`` (default 15%) of the
+baseline's value; blocks present on only one side are skipped, because a
+smoke-grid report legitimately measures fewer cases than the committed
+full-grid artefact.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def _slipped(fresh: float, baseline: float, tolerance: float) -> bool:
+    """Has ``fresh`` regressed more than ``tolerance`` below ``baseline``?"""
+    return fresh < baseline * (1.0 - tolerance)
+
+
+def _comparable(fresh: Mapping | None, baseline: Mapping | None) -> bool:
+    """Blocks compare only when both exist and measured the same case."""
+    return (
+        fresh is not None
+        and baseline is not None
+        and fresh.get("size") == baseline.get("size")
+        and fresh.get("fill") == baseline.get("fill")
+    )
+
+
+def check_perf_regression(
+    fresh: Mapping,
+    baseline: Mapping,
+    tolerance: float = 0.15,
+) -> list[str]:
+    """Compare two bench-report payloads; return regression descriptions.
+
+    ``fresh`` and ``baseline`` are ``BENCH_*.json`` payloads (the dict
+    shape of :meth:`repro.analysis.perf.PerfReport.to_dict`).  An empty
+    return value means the gate passes.  Each failure string names the
+    ratio, both values, and the allowed floor.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures: list[str] = []
+
+    def check(label: str, fresh_ratio: float, base_ratio: float) -> None:
+        if _slipped(fresh_ratio, base_ratio, tolerance):
+            floor = base_ratio * (1.0 - tolerance)
+            failures.append(
+                f"{label}: {fresh_ratio:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base_ratio:.2f}x, tolerance {tolerance:.0%})"
+            )
+
+    fresh_speedup = fresh.get("speedup")
+    base_speedup = baseline.get("speedup")
+    if _comparable(fresh_speedup, base_speedup):
+        size = fresh_speedup["size"]
+        for key in ("speedup_vs_seed", "speedup_vs_reference"):
+            check(
+                f"qrm@{size} {key}",
+                fresh_speedup[key],
+                base_speedup[key],
+            )
+
+    fresh_components = fresh.get("component_speedups") or {}
+    base_components = baseline.get("component_speedups") or {}
+    for name in fresh_components.keys() & base_components.keys():
+        fresh_block = fresh_components[name]
+        base_block = base_components[name]
+        if not _comparable(fresh_block, base_block):
+            continue
+        size = fresh_block["size"]
+        if name == "batched_qrm":
+            base_by_batch = {
+                entry["batch_size"]: entry for entry in base_block["batches"]
+            }
+            for entry in fresh_block["batches"]:
+                base_entry = base_by_batch.get(entry["batch_size"])
+                if base_entry is None:
+                    continue
+                check(
+                    f"batched_qrm@{size} B={entry['batch_size']} "
+                    f"speedup_vs_single",
+                    entry["speedup_vs_single"],
+                    base_entry["speedup_vs_single"],
+                )
+            continue
+        check(
+            f"{name}@{size} speedup_vs_reference",
+            fresh_block["speedup_vs_reference"],
+            base_block["speedup_vs_reference"],
+        )
+    return failures

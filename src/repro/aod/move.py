@@ -67,13 +67,12 @@ class LineShift:
         reference path; everyone else should use the normal constructor.
         """
         shift = object.__new__(cls)
-        shift.__dict__.update(
-            direction=direction,
-            line=line,
-            span_start=span_start,
-            span_stop=span_stop,
-            steps=steps,
-        )
+        fields = shift.__dict__
+        fields["direction"] = direction
+        fields["line"] = line
+        fields["span_start"] = span_start
+        fields["span_stop"] = span_stop
+        fields["steps"] = steps
         return shift
 
     @property
@@ -170,7 +169,11 @@ class ParallelMove:
         guarantee uniform direction/steps and distinct lines upfront.
         """
         move = object.__new__(cls)
-        move.__dict__.update(direction=direction, steps=steps, shifts=shifts, tag=tag)
+        fields = move.__dict__
+        fields["direction"] = direction
+        fields["steps"] = steps
+        fields["shifts"] = shifts
+        fields["tag"] = tag
         return move
 
     @classmethod

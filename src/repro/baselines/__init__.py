@@ -1,10 +1,15 @@
 """Published baseline algorithms and the shared algorithm registry."""
 
 from repro.baselines.base import (
+    DEFAULT_ALGORITHMS,
     RearrangementAlgorithm,
     get_algorithm,
     list_algorithms,
     register_algorithm,
+    resolve_algorithms,
+    schedule_batch,
+    supports_batch,
+    unregister_algorithm,
 )
 from repro.baselines.cost_model import (
     COST_MODELS,
@@ -21,6 +26,7 @@ from repro.baselines.tetris import TetrisScheduler
 
 __all__ = [
     "COST_MODELS",
+    "DEFAULT_ALGORITHMS",
     "MTA1_COST",
     "Mta1Scheduler",
     "PSCA_COST",
@@ -34,4 +40,8 @@ __all__ = [
     "list_algorithms",
     "model_cpu_time_us",
     "register_algorithm",
+    "resolve_algorithms",
+    "schedule_batch",
+    "supports_batch",
+    "unregister_algorithm",
 ]

@@ -3,12 +3,26 @@
 Every rearrangement algorithm — the paper's QRM, the Sec. III-A typical
 procedure, and the three published baselines — registers a factory here
 under a stable name, so experiment runners can be parameterised by
-string.
+string.  Factories share one construction signature,
+``(geometry, *, rng=None, **params)``: ``rng`` is reserved for
+stochastic algorithms (the built-ins are deterministic and ignore it)
+and ``params`` forwards algorithm-specific knobs (QRM's
+:class:`~repro.config.QrmParameters` fields, PSCA's tweezer budget, …).
+The per-command oracle implementations register too, under
+``"<name>-reference"`` keys, so differential tests and the perf suite
+resolve both sides of every fast/reference pair through this one
+registry.
+
+The API is batch-first: :func:`schedule_batch` dispatches a stack of
+same-geometry arrays to an algorithm's native ``schedule_batch`` when it
+has one (QRM's cross-trial engine) and otherwise falls back to looping
+``schedule`` — so every algorithm can be driven through the batched
+campaign path unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Callable, Iterable, Protocol
 
 from repro.core.result import RearrangementResult
 from repro.lattice.array import AtomArray
@@ -25,13 +39,23 @@ class RearrangementAlgorithm(Protocol):
         ...
 
 
-AlgorithmFactory = Callable[[ArrayGeometry], RearrangementAlgorithm]
+AlgorithmFactory = Callable[..., RearrangementAlgorithm]
+
+#: The canonical benchmark line-up (QRM vs the published baselines) —
+#: the single source both ``repro bench`` and ``repro campaign`` default
+#: to.
+DEFAULT_ALGORITHMS = ("qrm", "tetris", "psca", "mta1")
 
 _REGISTRY: dict[str, AlgorithmFactory] = {}
 
 
 def register_algorithm(name: str, factory: AlgorithmFactory) -> None:
-    """Register ``factory`` under ``name`` (overwrites silently in tests)."""
+    """Register ``factory`` under ``name`` (overwrites silently in tests).
+
+    New factories should accept ``(geometry, *, rng=None, **params)``;
+    plain single-argument factories keep working as long as they are
+    resolved without extra keyword arguments.
+    """
     _REGISTRY[name] = factory
 
 
@@ -40,50 +64,123 @@ def unregister_algorithm(name: str) -> None:
     _REGISTRY.pop(name, None)
 
 
-def get_algorithm(name: str, geometry: ArrayGeometry) -> RearrangementAlgorithm:
-    """Instantiate a registered algorithm for ``geometry``."""
+def get_algorithm(
+    name: str,
+    geometry: ArrayGeometry,
+    *,
+    rng=None,
+    **params,
+) -> RearrangementAlgorithm:
+    """Instantiate a registered algorithm for ``geometry``.
+
+    ``rng`` and ``params`` forward to the factory only when provided, so
+    legacy single-argument factories stay resolvable.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown algorithm '{name}'; known: {known}") from None
-    return factory(geometry)
+    if rng is None and not params:
+        return factory(geometry)
+    if rng is not None:
+        params["rng"] = rng
+    return factory(geometry, **params)
 
 
 def list_algorithms() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def resolve_algorithms(names: Iterable[str] | None = None) -> tuple[str, ...]:
+    """Validate a requested algorithm line-up against the registry.
+
+    ``None`` resolves to :data:`DEFAULT_ALGORITHMS`.  This is the one
+    code path both the bench and campaign CLIs use, so an unknown name
+    fails identically everywhere.
+    """
+    chosen = DEFAULT_ALGORITHMS if names is None else tuple(names)
+    unknown = [name for name in chosen if name not in _REGISTRY]
+    if unknown:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown algorithm(s): {', '.join(unknown)}; known: {known}"
+        )
+    return chosen
+
+
+def supports_batch(algorithm: RearrangementAlgorithm) -> bool:
+    """Does the algorithm expose a native cross-trial batched path?"""
+    return callable(getattr(algorithm, "schedule_batch", None))
+
+
+def schedule_batch(
+    algorithm: RearrangementAlgorithm,
+    arrays: Iterable[AtomArray],
+) -> list[RearrangementResult]:
+    """Batch-first dispatch with a loop-over-``schedule`` fallback.
+
+    Algorithms with a native ``schedule_batch`` (QRM's cross-trial
+    engine) get the whole stack in one call; everything else schedules
+    the arrays one by one — same results, same order, no batch-only
+    capability required of implementors.
+    """
+    batch = list(arrays)
+    native = getattr(algorithm, "schedule_batch", None)
+    if callable(native):
+        return native(batch)
+    return [algorithm.schedule(array) for array in batch]
+
+
 def _register_builtins() -> None:
     """Register the built-in algorithms lazily to avoid import cycles."""
-    from repro.baselines.mta1 import Mta1Scheduler
-    from repro.baselines.psca import PscaScheduler
-    from repro.baselines.tetris import TetrisScheduler
+    from repro.baselines.mta1 import Mta1Scheduler, Mta1SchedulerReference
+    from repro.baselines.psca import PscaScheduler, PscaSchedulerReference
+    from repro.baselines.tetris import TetrisScheduler, TetrisSchedulerReference
     from repro.config import QrmParameters, ScanMode
+    from repro.core.passes import run_pass_reference
     from repro.core.qrm import QrmScheduler
     from repro.core.typical import TypicalScheduler
 
-    register_algorithm("qrm", lambda geo: QrmScheduler(geo))
+    def qrm_variant(**preset):
+        def factory(geometry, *, rng=None, **params):
+            del rng  # deterministic; accepted for signature uniformity
+            return QrmScheduler(geometry, QrmParameters(**{**preset, **params}))
+
+        return factory
+
+    def qrm_sen(geometry, *, rng=None, **params):
+        del rng
+        params.setdefault("scan_limit", max(1, geometry.target_width // 2))
+        return QrmScheduler(geometry, QrmParameters(**params))
+
+    def qrm_reference(geometry, *, rng=None, **params):
+        del rng
+        return QrmScheduler(
+            geometry, QrmParameters(**params), pass_runner=run_pass_reference
+        )
+
+    def plain(cls):
+        def factory(geometry, *, rng=None, **params):
+            del rng  # deterministic; accepted for signature uniformity
+            return cls(geometry, **params)
+
+        return factory
+
+    register_algorithm("qrm", qrm_variant())
     register_algorithm(
-        "qrm-fresh",
-        lambda geo: QrmScheduler(
-            geo, QrmParameters(n_iterations=2, scan_mode=ScanMode.FRESH)
-        ),
+        "qrm-fresh", qrm_variant(n_iterations=2, scan_mode=ScanMode.FRESH)
     )
-    register_algorithm(
-        "qrm-repair",
-        lambda geo: QrmScheduler(geo, QrmParameters(enable_repair=True)),
-    )
-    register_algorithm(
-        "qrm-sen",
-        lambda geo: QrmScheduler(
-            geo, QrmParameters(scan_limit=max(1, geo.target_width // 2))
-        ),
-    )
-    register_algorithm("typical", lambda geo: TypicalScheduler(geo))
-    register_algorithm("tetris", lambda geo: TetrisScheduler(geo))
-    register_algorithm("psca", lambda geo: PscaScheduler(geo))
-    register_algorithm("mta1", lambda geo: Mta1Scheduler(geo))
+    register_algorithm("qrm-repair", qrm_variant(enable_repair=True))
+    register_algorithm("qrm-sen", qrm_sen)
+    register_algorithm("qrm-reference", qrm_reference)
+    register_algorithm("typical", plain(TypicalScheduler))
+    register_algorithm("tetris", plain(TetrisScheduler))
+    register_algorithm("tetris-reference", plain(TetrisSchedulerReference))
+    register_algorithm("psca", plain(PscaScheduler))
+    register_algorithm("psca-reference", plain(PscaSchedulerReference))
+    register_algorithm("mta1", plain(Mta1Scheduler))
+    register_algorithm("mta1-reference", plain(Mta1SchedulerReference))
 
 
 _register_builtins()

@@ -7,6 +7,15 @@ to an executor, and aggregates per-cell statistics in a fixed
 whether trials ran serially, across a process pool, asynchronously,
 out of the cache, or replayed from an interrupted run's journal.
 
+With ``batch_size > 1`` the engine groups consecutive same-cell pending
+trials and dispatches each group through
+:func:`~repro.campaign.trial.run_trial_batch_guarded`, handing
+batch-capable algorithms (QRM's cross-trial engine) a whole stack per
+call.  Cache keys, journal records and observer events stay strictly
+per-trial, and grouping never reorders the seed stream — so batched
+runs share cache entries with serial runs and produce byte-identical
+aggregates.
+
 The orchestration is deliberately free of infrastructure: executors,
 cache, observer, and journal are injected behind small protocols and
 default to in-process, no-cache, silent, unjournalled implementations,
@@ -31,6 +40,7 @@ from repro.campaign.trial import (
     TrialFailure,
     TrialResult,
     TrialSpec,
+    run_trial_batch_guarded,
     run_trial_guarded,
 )
 from repro.errors import ConfigurationError, ExecutionError
@@ -189,6 +199,30 @@ class CampaignResult:
         ]
 
 
+def batch_trials(
+    pending: Sequence[TrialSpec], batch_size: int
+) -> list[list[TrialSpec]]:
+    """Group consecutive same-cell trials into batches of ``batch_size``.
+
+    Grouping never reorders: trials stay in grid (cell, seed) order, so
+    per-trial results — and therefore aggregates — are unchanged by the
+    batch boundary.  A cell change always starts a new batch, because
+    :func:`~repro.campaign.trial.run_trial_batch` schedules one cell's
+    geometry/algorithm per call.
+    """
+    batches: list[list[TrialSpec]] = []
+    for trial in pending:
+        if (
+            batches
+            and len(batches[-1]) < batch_size
+            and batches[-1][-1].cell == trial.cell
+        ):
+            batches[-1].append(trial)
+        else:
+            batches.append([trial])
+    return batches
+
+
 def aggregate_cell(cell: ScenarioCell, results: Sequence[TrialResult]) -> CellAggregate:
     """Summarise one cell's trial results (in seed order)."""
     names = sorted(results[0].metrics) if results else []
@@ -208,12 +242,16 @@ class ExperimentCampaign:
         cache: TrialCache | None = None,
         observer: CampaignObserver | None = None,
         journal: RunJournal | None = None,
+        batch_size: int = 1,
     ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         self.spec = spec
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.observer = observer if observer is not None else NullObserver()
         self.journal = journal
+        self.batch_size = batch_size
 
     def trials(self) -> list[TrialSpec]:
         """Every (cell, seed) trial, in deterministic grid order."""
@@ -291,8 +329,7 @@ class ExperimentCampaign:
             for trial in pending:
                 if trial.key() not in already:
                     self.journal.record_trial_started(trial)
-        for index, outcome in self.executor.run(run_trial_guarded, pending):
-            trial = pending[index]
+        def consume(trial: TrialSpec, outcome) -> None:
             if isinstance(outcome, TrialFailure):
                 if self.journal is not None:
                     self.journal.record_trial_error(trial, outcome.error)
@@ -306,6 +343,17 @@ class ExperimentCampaign:
             if self.journal is not None:
                 self.journal.record_trial_finished(trial, outcome, from_cache=False)
             self.observer.trial_completed(trial, outcome, from_cache=False)
+
+        if self.batch_size == 1:
+            for index, outcome in self.executor.run(run_trial_guarded, pending):
+                consume(pending[index], outcome)
+        else:
+            batches = batch_trials(pending, self.batch_size)
+            for index, outcomes in self.executor.run(
+                run_trial_batch_guarded, batches
+            ):
+                for trial, outcome in zip(batches[index], outcomes):
+                    consume(trial, outcome)
 
         aggregates: list[CellAggregate] = []
         n_seeds = self.spec.n_seeds
@@ -338,8 +386,14 @@ def run_campaign(
     cache: TrialCache | None = None,
     observer: CampaignObserver | None = None,
     journal: RunJournal | None = None,
+    batch_size: int = 1,
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`ExperimentCampaign`."""
     return ExperimentCampaign(
-        spec, executor=executor, cache=cache, observer=observer, journal=journal
+        spec,
+        executor=executor,
+        cache=cache,
+        observer=observer,
+        journal=journal,
+        batch_size=batch_size,
     ).run()

@@ -8,13 +8,21 @@ picklable value object; :func:`run_trial` is a module-level function so
 Every trial derives two independent RNG streams (array loading and
 loss simulation) from one ``SeedSequence`` via ``spawn`` — see
 :mod:`repro.campaign.spec` for the seeding contract.
+
+:func:`run_trial_batch` is the cross-trial counterpart: it executes a
+group of same-cell trials through one :func:`repro.baselines.base.
+schedule_batch` call, so algorithms with a native batched engine (QRM)
+amortise their dispatch overhead across the group.  Per-trial metrics
+are computed by the same helper the serial path uses, from results that
+are bit-identical to serial scheduling — only the wall-clock ``cpu_us``
+convention changes (amortised: batch time / N).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -99,13 +107,23 @@ def run_trial_guarded(trial: TrialSpec) -> "TrialResult | TrialFailure":
         return TrialFailure(key=trial.key(), error=f"{type(exc).__name__}: {exc}")
 
 
+def _resolve_algorithm(cell: ScenarioCell, geometry):
+    """The cell's scheduler: an explicit QRM preset or a registry name."""
+    from repro.baselines.base import get_algorithm
+
+    if cell.qrm is not None:
+        from repro.core.qrm import QrmScheduler
+
+        return QrmScheduler(geometry, cell.qrm.to_params())
+    return get_algorithm(cell.algorithm, geometry)
+
+
 def run_trial(trial: TrialSpec) -> TrialResult:
     """Execute one trial and return its metrics.
 
     Deterministic given the trial spec, except for the wall-clock
     metrics added when ``cell.timing`` is set.
     """
-    from repro.baselines.base import get_algorithm
     from repro.lattice.geometry import ArrayGeometry
     from repro.lattice.loading import load_uniform
 
@@ -114,12 +132,7 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     load_seed, loss_seed = trial.seed_sequence().spawn(2)
     array = load_uniform(geometry, cell.fill, rng=np.random.default_rng(load_seed))
 
-    if cell.qrm is not None:
-        from repro.core.qrm import QrmScheduler
-
-        algorithm = QrmScheduler(geometry, cell.qrm.to_params())
-    else:
-        algorithm = get_algorithm(cell.algorithm, geometry)
+    algorithm = _resolve_algorithm(cell, geometry)
     start = time.perf_counter()
     result = algorithm.schedule(array)
     elapsed_us = (time.perf_counter() - start) * 1e6
@@ -131,6 +144,79 @@ def run_trial(trial: TrialSpec) -> TrialResult:
             algorithm.schedule(array)
             elapsed_us = min(elapsed_us, (time.perf_counter() - start) * 1e6)
 
+    return _trial_metrics(trial, array, result, loss_seed, elapsed_us)
+
+
+def run_trial_batch_guarded(
+    trials: Sequence[TrialSpec],
+) -> "list[TrialResult | TrialFailure]":
+    """:func:`run_trial_batch`, with exceptions captured as failures.
+
+    A batch fails as a unit: one exception marks every trial of the
+    group, and the engine aborts on the first failure it sees — same
+    contract as :func:`run_trial_guarded`, lifted to groups.
+    """
+    try:
+        return list(run_trial_batch(trials))
+    except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        return [TrialFailure(key=trial.key(), error=error) for trial in trials]
+
+
+def run_trial_batch(trials: Sequence[TrialSpec]) -> list[TrialResult]:
+    """Execute a group of same-cell trials through one batched call.
+
+    Metrics are derived from :func:`repro.baselines.base.schedule_batch`
+    results, which are bit-identical to per-trial ``schedule`` calls —
+    so every deterministic metric matches :func:`run_trial` exactly.
+    For timing cells ``cpu_us`` is the amortised per-trial cost (whole-
+    batch wall time divided by the group size, best of 3 repeats).
+    """
+    from repro.baselines.base import schedule_batch
+    from repro.lattice.geometry import ArrayGeometry
+    from repro.lattice.loading import load_uniform
+
+    if not trials:
+        return []
+    cell = trials[0].cell
+    if any(trial.cell != cell for trial in trials[1:]):
+        raise ValueError("run_trial_batch requires trials from one scenario cell")
+    geometry = ArrayGeometry.square(cell.size, cell.target)
+    seeds = [trial.seed_sequence().spawn(2) for trial in trials]
+    arrays = [
+        load_uniform(geometry, cell.fill, rng=np.random.default_rng(load_seed))
+        for load_seed, _ in seeds
+    ]
+
+    algorithm = _resolve_algorithm(cell, geometry)
+    start = time.perf_counter()
+    results = schedule_batch(algorithm, arrays)
+    elapsed_us = (time.perf_counter() - start) * 1e6 / len(trials)
+    if cell.timing:
+        for _ in range(2):
+            start = time.perf_counter()
+            schedule_batch(algorithm, arrays)
+            elapsed_us = min(
+                elapsed_us, (time.perf_counter() - start) * 1e6 / len(trials)
+            )
+
+    return [
+        _trial_metrics(trial, array, result, loss_seed, elapsed_us)
+        for trial, array, result, (_, loss_seed) in zip(
+            trials, arrays, results, seeds
+        )
+    ]
+
+
+def _trial_metrics(
+    trial: TrialSpec,
+    array,
+    result,
+    loss_seed: np.random.SeedSequence,
+    elapsed_us: float,
+) -> TrialResult:
+    """Flatten one scheduling result into the trial's metric mapping."""
+    cell = trial.cell
     metrics: dict[str, float] = {
         "moves": float(result.n_moves),
         "iterations": float(result.iterations_used),
@@ -148,9 +234,9 @@ def run_trial(trial: TrialSpec) -> TrialResult:
         from repro.fpga.accelerator import QrmAccelerator
 
         if cell.qrm is not None:
-            accelerator = QrmAccelerator(geometry, params=cell.qrm.to_params())
+            accelerator = QrmAccelerator(array.geometry, params=cell.qrm.to_params())
         else:
-            accelerator = QrmAccelerator(geometry)
+            accelerator = QrmAccelerator(array.geometry)
         run = accelerator.run(array)
         metrics["fpga_cycles"] = float(run.report.total_cycles)
         metrics["fpga_us"] = float(run.report.time_us)

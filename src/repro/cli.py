@@ -161,12 +161,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.analysis.perf import (
-        DEFAULT_ALGORITHMS,
-        DEFAULT_FILLS,
-        DEFAULT_SIZES,
-        run_perf_suite,
-    )
+    import json
+    from pathlib import Path
+
+    from repro.analysis.perf import DEFAULT_FILLS, DEFAULT_SIZES, run_perf_suite
+    from repro.baselines.base import resolve_algorithms
 
     if args.smoke:
         sizes = args.sizes or [16, 32]
@@ -177,18 +176,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         sizes = args.sizes or list(DEFAULT_SIZES)
         fills = args.fills or list(DEFAULT_FILLS)
-        algorithms = args.algorithms or list(DEFAULT_ALGORITHMS)
+        algorithms = args.algorithms
         trials = args.trials or 3
         speedup_size = args.speedup_size or 64
 
-    unknown = [a for a in algorithms if a not in list_algorithms()]
-    if unknown:
-        print(
-            f"unknown algorithm(s): {', '.join(unknown)}; "
-            f"known: {', '.join(list_algorithms())}",
-            file=sys.stderr,
-        )
+    try:
+        algorithms = resolve_algorithms(algorithms)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
         return 2
+
+    baseline = None
+    if args.gate:
+        gate_path = Path(args.gate)
+        if not gate_path.is_file():
+            print(f"gate baseline not found: {gate_path}", file=sys.stderr)
+            return 2
+        baseline = json.loads(gate_path.read_text())
 
     observer = None if args.quiet else (
         lambda label: print(f"[bench] {label}", file=sys.stderr)
@@ -205,6 +209,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(report.format_table())
     path = report.write_json(args.out)
     print(f"[written to {path}]")
+
+    if baseline is not None:
+        from repro.analysis.perf_gate import check_perf_regression
+
+        failures = check_perf_regression(
+            report.to_dict(), baseline, tolerance=args.gate_tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"[gate] REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"[gate] speedups within {args.gate_tolerance:.0%} of {args.gate}")
     return 0
 
 
@@ -273,13 +289,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(spec.to_json())
         return 0
 
-    unknown = [a for a in spec.algorithms if a not in list_algorithms()]
-    if unknown:
-        print(
-            f"unknown algorithm(s): {', '.join(unknown)}; "
-            f"known: {', '.join(list_algorithms())}",
-            file=sys.stderr,
-        )
+    from repro.baselines.base import resolve_algorithms
+
+    try:
+        resolve_algorithms(spec.algorithms)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
         return 2
 
     if journal is None and args.journal:
@@ -298,6 +313,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cache=cache,
         observer=observer,
         journal=journal,
+        batch_size=args.batch_size,
     )
     try:
         result = campaign.run()
@@ -486,6 +502,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="trials dispatched to a worker at a time",
     )
     p.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="consecutive same-cell trials scheduled per batched "
+        "call (1 = per-trial execution); batch-capable "
+        "algorithms amortise analysis across the group, "
+        "aggregates are identical either way",
+    )
+    p.add_argument(
         "--interrupt-after",
         type=int,
         default=None,
@@ -582,6 +607,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="small fast grid for CI (qrm+tetris+mta1 at 16/32)",
+    )
+    p.add_argument(
+        "--gate",
+        type=str,
+        default=None,
+        metavar="BASELINE.json",
+        help="fail (exit 1) when a measured speedup ratio slips "
+        "more than --gate-tolerance below this committed "
+        "bench report's; only ratios both reports measured "
+        "at the same size/fill are compared",
+    )
+    p.add_argument(
+        "--gate-tolerance",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="allowed relative speedup slip for --gate "
+        "(default 0.15 = 15%%)",
     )
     p.add_argument(
         "--quiet", action="store_true", help="suppress per-case progress on stderr"

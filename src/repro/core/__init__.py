@@ -1,10 +1,13 @@
 """QRM core: scan kernel, pass batching, schedulers, repair stage."""
 
+from repro.core.batch import BatchQrmScheduler
 from repro.core.passes import (
+    MoveInterner,
     Phase,
     PassOutcome,
     batch_order_key,
     run_pass,
+    run_pass_batch,
     run_pass_reference,
 )
 from repro.core.qrm import QrmScheduler, rearrange
@@ -24,8 +27,10 @@ from repro.core.scan import (
 from repro.core.typical import TypicalScheduler
 
 __all__ = [
+    "BatchQrmScheduler",
     "IterationStats",
     "LineScanResult",
+    "MoveInterner",
     "PassOutcome",
     "Phase",
     "QrmScheduler",
@@ -41,6 +46,7 @@ __all__ = [
     "rearrange",
     "repair_defects",
     "run_pass",
+    "run_pass_batch",
     "run_pass_reference",
     "scan_axis",
     "scan_line",

@@ -29,13 +29,19 @@ two are property-tested to emit bit-identical schedules.
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.aod.executor import apply_parallel_move
 from repro.aod.move import LineShift, ParallelMove
-from repro.core.scan import LineScanResult, scan_axis, scan_quadrant
+from repro.core.scan import (
+    LineScanResult,
+    scan_axis,
+    scan_quadrant,
+    scan_quadrant_batch,
+)
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import Direction, Quadrant, QuadrantFrame
 
@@ -720,3 +726,575 @@ def run_pass(
             hole_pos=holes[alive],
         )
     return outcome
+
+
+# ---------------------------------------------------------------------------
+# Cross-trial batched pass
+# ---------------------------------------------------------------------------
+
+
+class MoveInterner:
+    """Cross-trial cache for the batched pass's emitted move objects.
+
+    Same-geometry trials share most of their (direction, line, span)
+    shift combinations and (phase, round, hole) tags, so the batched
+    emission deduplicates with one ``np.unique`` over packed integer
+    keys and constructs each distinct ``LineShift``/tag string exactly
+    once — every later occurrence, in any trial of any batch served by
+    this interner, reuses the same object.  The shifts are frozen value
+    types compared by field (and tags are plain strings), so sharing one
+    instance across trials preserves bit-identity with the single-trial
+    schedules while skipping the Python-object construction cost, which
+    is the part of a pass that raw NumPy batching cannot amortise.
+
+    Keys are the packed integers of :func:`_emit_round_groups_batch`:
+    shifts pack (global direction rank, line, span start, span stop) and
+    tags pack (phase, quadrant, round, hole), so the two phases can
+    never collide.  Packing uses 20-bit coordinate fields — far beyond
+    any realistic trap-array extent.
+
+    Shifts are stored as a sorted key array with a parallel object
+    array, so a warm lookup is one ``np.searchsorted`` plus one fancy
+    index — no per-object Python work at all.  Tags are a plain dict
+    (there are only a handful of distinct ones).
+    """
+
+    __slots__ = ("shift_keys", "shift_objs", "tags")
+
+    def __init__(self) -> None:
+        self.shift_keys = np.empty(0, dtype=np.int64)
+        self.shift_objs = np.empty(0, dtype=object)
+        self.tags: dict[int, str] = {}
+
+    def lookup_shifts(
+        self,
+        uniq: np.ndarray,
+        d_first: np.ndarray,
+        line_first: np.ndarray,
+        a_first: np.ndarray,
+        b_first: np.ndarray,
+        directions: tuple,
+    ) -> np.ndarray:
+        """Object array parallel to ``uniq``; builds and caches misses.
+
+        ``uniq`` is the ascending packed-key array of the distinct
+        shifts; the ``*_first`` arrays carry each key's unpacked fields.
+        """
+        keys = self.shift_keys
+        known = np.zeros(uniq.size, dtype=bool)
+        objs = np.empty(uniq.size, dtype=object)
+        if keys.size:
+            pos = np.searchsorted(keys, uniq)
+            in_bounds = pos < keys.size
+            known[in_bounds] = keys[pos[in_bounds]] == uniq[in_bounds]
+            hits = np.nonzero(known)[0]
+            if hits.size:
+                objs[hits] = self.shift_objs[pos[hits]]
+        new_idx = np.nonzero(~known)[0]
+        if new_idx.size:
+            make_shift = LineShift.trusted
+            new_objs = [
+                make_shift(directions[d], line, a, b)
+                for d, line, a, b in zip(
+                    d_first[new_idx].tolist(),
+                    line_first[new_idx].tolist(),
+                    a_first[new_idx].tolist(),
+                    b_first[new_idx].tolist(),
+                )
+            ]
+            objs[new_idx] = new_objs
+            merged_keys = np.concatenate([keys, uniq[new_idx]])
+            merged_objs = np.concatenate(
+                [self.shift_objs, np.array(new_objs, dtype=object)]
+            )
+            order = np.argsort(merged_keys)
+            self.shift_keys = merged_keys[order]
+            self.shift_objs = merged_objs[order]
+        return objs
+
+
+def _unique_keys(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``np.unique(packed, return_index=True, return_inverse=True)``, faster.
+
+    One plain argsort plus linear passes — several times cheaper than
+    ``np.unique``'s bookkeeping.  The returned index points at *an*
+    occurrence of each key rather than the first, which is equivalent
+    here: every field the callers unpack is fully determined by the key.
+    """
+    order = np.argsort(packed)
+    sorted_keys = packed[order]
+    boundary = np.empty(sorted_keys.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    first_sorted = np.nonzero(boundary)[0]
+    inverse = np.empty(sorted_keys.size, dtype=np.intp)
+    inverse[order] = np.cumsum(boundary) - 1
+    return sorted_keys[first_sorted], order[first_sorted], inverse
+
+
+@dataclass(frozen=True, eq=False)
+class _BatchCommandTable(_CommandTable):
+    """:class:`_CommandTable` plus the owning trial of every state.
+
+    A state is one (trial, quadrant, line) with at least one command;
+    all closed-form drain arithmetic of the single-trial pass works
+    unchanged on the flattened multi-trial state list because it only
+    ever couples commands of the same state.
+    """
+
+    trial_of: np.ndarray = None  # trial index per state
+
+
+def _build_batch_command_table(
+    outcomes: list[PassOutcome],
+    frames: dict[Quadrant, QuadrantFrame],
+    phase: Phase,
+    scan_source: np.ndarray,
+    scan_limit: int | None,
+) -> tuple[_BatchCommandTable | None, list]:
+    """Scan all quadrants of all trials and flatten into one state table.
+
+    The batched analogue of :func:`_build_command_table`: one
+    :func:`~repro.core.scan.scan_quadrant_batch` per quadrant covers
+    every trial, and the per-state arrays gain a parallel ``trial_of``.
+    Also returns the ``(frame, BatchQuadrantScan)`` pairs for the
+    unguarded net compaction.
+    """
+    axis = 0 if phase is Phase.ROW else 1
+    first_direction = _direction_order(phase)[0]
+    chunks: list[tuple] = []
+    scans: list = []
+    for quadrant in QUADRANT_ORDER:
+        frame = frames[quadrant]
+        scan = scan_quadrant_batch(
+            frame.extract_batch(scan_source), axis, limit=scan_limit
+        )
+        scans.append((frame, scan))
+        counts = scan.line_counts.tolist()
+        per_trial = scan.commands_per_trial().tolist()
+        n_scanned = scan.n_scanned_bits
+        for trial, outcome in enumerate(outcomes):
+            outcome.line_commands[quadrant] = counts[trial]
+            outcome.n_scanned_bits += n_scanned
+            outcome.n_commands += per_trial[trial]
+        if not scan.n_commands:
+            continue
+        # np.nonzero order is (trial, line)-lexicographic, matching the
+        # state-major layout of scan.hole_positions.
+        t_states, lines = np.nonzero(scan.line_counts)
+        row_base, row_sign, col_base, col_sign = frame.affine
+        if phase is Phase.ROW:
+            line_full = row_base + row_sign * lines
+            span_base, span_sign = col_base, col_sign
+            inward = frame.horizontal_inward
+        else:
+            line_full = col_base + col_sign * lines
+            span_base, span_sign = row_base, row_sign
+            inward = frame.vertical_inward
+        n_states = lines.size
+        chunks.append(
+            (
+                scan.line_counts[t_states, lines],
+                scan.hole_positions,
+                line_full,
+                np.full(n_states, span_base),
+                np.full(n_states, span_sign),
+                np.full(n_states, scan.n_positions),
+                np.full(n_states, 0 if inward is first_direction else 1),
+                np.full(n_states, QUADRANT_BATCH_RANK[quadrant]),
+                t_states,
+            )
+        )
+    if not chunks:
+        return None, scans
+    table = _BatchCommandTable(
+        n_holes=np.concatenate([c[0] for c in chunks]),
+        holes_flat=np.concatenate([c[1] for c in chunks]),
+        line_full=np.concatenate([c[2] for c in chunks]),
+        span_base=np.concatenate([c[3] for c in chunks]),
+        span_sign=np.concatenate([c[4] for c in chunks]),
+        n_positions=np.concatenate([c[5] for c in chunks]),
+        dir_rank=np.concatenate([c[6] for c in chunks]),
+        quad_rank=np.concatenate([c[7] for c in chunks]),
+        trial_of=np.concatenate([c[8] for c in chunks]),
+    )
+    return table, scans
+
+
+def _apply_net_compaction_batch(grids: np.ndarray, frame, scan) -> None:
+    """Batched :func:`_apply_net_compaction` over the trial axis.
+
+    Trials whose quadrant scanned zero commands are rewritten with their
+    own unchanged occupancy (consumed is identically zero there), so no
+    per-trial masking is needed.
+    """
+    local = scan.lines_view
+    consumed = np.zeros(local.shape, dtype=np.intp)
+    if scan.n_positions > 1:
+        np.cumsum(scan.holes_mask[:, :, :-1], axis=2, out=consumed[:, :, 1:])
+    trials, lines, positions = np.nonzero(local)
+    compacted = np.zeros_like(local)
+    compacted[trials, lines, positions - consumed[trials, lines, positions]] = True
+    if scan.axis == 1:
+        compacted = compacted.transpose(0, 2, 1)
+    frame.insert_batch(grids, compacted)
+
+
+def _apply_guarded_compaction_batch(
+    grids: np.ndarray,
+    horizontal: bool,
+    trials: np.ndarray,
+    lines: np.ndarray,
+    span_base: np.ndarray,
+    span_sign: np.ndarray,
+    n_positions: np.ndarray,
+    hole_seg: np.ndarray,
+    hole_pos: np.ndarray,
+) -> None:
+    """Batched :func:`_apply_guarded_compaction` over the trial axis.
+
+    Identical gather/scatter with ``trials`` as a third coordinate:
+    segments stay pairwise disjoint (one state per trial per quadrant
+    half-line), so every trial's half-lines compact in the same sweep.
+    """
+    seg_start = np.zeros(lines.size, dtype=np.intp)
+    np.cumsum(n_positions[:-1], out=seg_start[1:])
+    total = int(n_positions.sum())
+    seg_rep = np.repeat(np.arange(lines.size), n_positions)
+    local = np.arange(total) - np.repeat(seg_start, n_positions)
+    base = span_base[seg_rep]
+    sign = span_sign[seg_rep]
+    line_rep = lines[seg_rep]
+    trial_rep = trials[seg_rep]
+    coord = base + sign * local
+    occupancy = (
+        grids[trial_rep, line_rep, coord]
+        if horizontal
+        else grids[trial_rep, coord, line_rep]
+    )
+    markers = np.zeros(total, dtype=np.intp)
+    markers[seg_start[hole_seg] + hole_pos] = 1
+    csum = np.cumsum(markers)
+    consumed = csum - (csum[seg_start] - markers[seg_start])[seg_rep]
+    atoms = np.nonzero(occupancy)[0]
+    new_coord = base[atoms] + sign[atoms] * (local[atoms] - consumed[atoms])
+    if horizontal:
+        grids[trial_rep, line_rep, coord] = False
+        grids[trial_rep[atoms], line_rep[atoms], new_coord] = True
+    else:
+        grids[trial_rep, coord, line_rep] = False
+        grids[trial_rep[atoms], new_coord, line_rep[atoms]] = True
+
+
+def _emit_round_groups_batch(
+    outcomes: list[PassOutcome],
+    phase: Phase,
+    merge_mirror: bool,
+    trial_of: np.ndarray,
+    round_of: np.ndarray,
+    dir_rank: np.ndarray,
+    cur: np.ndarray,
+    quad_rank: np.ndarray,
+    line_full: np.ndarray,
+    span_start: np.ndarray,
+    span_stop: np.ndarray,
+    interner: MoveInterner,
+) -> None:
+    """Batched :func:`_emit_round_groups`: trial is the outermost key.
+
+    Prepending ``trial_of`` to the lexsort keeps every trial's commands
+    contiguous and, inside a trial, ordered by exactly the single-trial
+    key tuple — and since the full-array line is unique within any
+    (round, direction, hole[, quadrant]) group, that order is totally
+    determined by the keys, so each trial's batch sequence is
+    bit-identical to its own single-trial emission.
+
+    The Python-object side is deduplicated, not looped: shifts and tags
+    are reduced to packed integer keys, ``np.unique`` finds the distinct
+    ones, each distinct object is built (or fetched from the
+    :class:`MoveInterner`) once, and the full per-command object array
+    comes back through one fancy index — so the per-command Python cost
+    collapses to the per-*unique* cost, which across a batch of similar
+    trials is a small fraction of the command count.
+    """
+    n = cur.size
+    if not n:
+        return
+    directions = _direction_order(phase)
+
+    # Sort by (trial, round, dir, cur[, quad], line) — one argsort over a
+    # single packed int64 key when the coordinates fit the 13-bit fields
+    # (any realistic trap array), falling back to the equivalent
+    # five/six-key lexsort otherwise.  The packed keys are unique (the
+    # line is unique within a group), so sort kind is irrelevant.
+    trial64 = trial_of.astype(np.int64)
+    packable = (
+        int(line_full.max()) < 8192
+        and int(cur.max()) < 8192
+        and int(round_of.max()) < 8192
+        and int(trial64.max()) < 1 << 22
+    )
+    if packable:
+        key = (((trial64 << 13) | round_of) << 1 | dir_rank) << 13 | cur
+        if not merge_mirror:
+            key = (key << 2) | quad_rank
+        order = np.argsort((key << 13) | line_full)
+    elif merge_mirror:
+        order = np.lexsort((line_full, cur, dir_rank, round_of, trial_of))
+    else:
+        order = np.lexsort((line_full, quad_rank, cur, dir_rank, round_of, trial_of))
+    if merge_mirror:
+        group_keys = (trial_of, round_of, dir_rank, cur)
+    else:
+        group_keys = (trial_of, round_of, dir_rank, cur, quad_rank)
+    sorted_keys = [key[order] for key in group_keys]
+    boundary = np.zeros(n, dtype=bool)
+    boundary[0] = True
+    for key in sorted_keys:
+        boundary[1:] |= key[1:] != key[:-1]
+    starts = np.nonzero(boundary)[0]
+    ends = np.append(starts[1:], n)
+
+    # Interned shifts: pack (direction, line, span) into one int64 per
+    # command, unique it, and resolve the distinct keys through the
+    # interner (warm keys never touch Python).  The phase offset makes
+    # the direction rank global (row pass directions 0-1, column pass
+    # 2-3), so one flat cache serves both phases.
+    phase_offset = 0 if phase is Phase.ROW else 2
+    d_sorted = sorted_keys[2].astype(np.int64)
+    line_sorted = line_full[order].astype(np.int64)
+    a_sorted = span_start[order].astype(np.int64)
+    b_sorted = span_stop[order].astype(np.int64)
+    packed = (
+        ((d_sorted + phase_offset) << 60)
+        | (line_sorted << 40)
+        | (a_sorted << 20)
+        | b_sorted
+    )
+    uniq, first_idx, inverse = _unique_keys(packed)
+    shift_objs = interner.lookup_shifts(
+        uniq,
+        d_sorted[first_idx],
+        line_sorted[first_idx],
+        a_sorted[first_idx],
+        b_sorted[first_idx],
+        directions,
+    )
+    shifts_all = shift_objs[inverse]
+
+    # Interned tags: one packed key per *group*, deduplicated the same
+    # way (a dict suffices — distinct tags are few).
+    g_round = sorted_keys[1][starts].astype(np.int64)
+    g_cur = sorted_keys[3][starts].astype(np.int64)
+    phase_bit = np.int64(0 if phase is Phase.ROW else 1)
+    tag_packed = (phase_bit << 62) | (g_round << 22) | g_cur
+    if not merge_mirror:
+        g_quad = sorted_keys[4][starts].astype(np.int64)
+        tag_packed |= (g_quad + 1) << 44
+    t_uniq, t_first, t_inv = _unique_keys(tag_packed)
+    tag_cache = interner.tags
+    phase_label = phase.value
+    new_round = g_round[t_first].tolist()
+    new_cur = g_cur[t_first].tolist()
+    new_quad = None if merge_mirror else sorted_keys[4][starts][t_first].tolist()
+    tag_objs = np.empty(t_uniq.size, dtype=object)
+    for i, key in enumerate(t_uniq.tolist()):
+        tag = tag_cache.get(key)
+        if tag is None:
+            tag = f"{phase_label}-k{new_round[i]}-h{new_cur[i]}"
+            if new_quad is not None:
+                tag += f"-{_RANK_TO_QUADRANT[new_quad[i]].value}"
+            tag_cache[key] = tag
+        tag_objs[i] = tag
+
+    # Assemble the moves through C-speed map chains: slice each group's
+    # interned shifts out of one flat list, zip with the interned tags
+    # and direction objects, and hand each trial its contiguous run of
+    # finished moves in one extend.
+    starts_l = starts.tolist()
+    ends_l = ends.tolist()
+    shifts_list = shifts_all.tolist()
+    span_tuples = list(
+        map(tuple, map(shifts_list.__getitem__, map(slice, starts_l, ends_l)))
+    )
+    dir_objs = np.array(directions, dtype=object)
+    moves_all = list(
+        map(
+            ParallelMove.trusted,
+            dir_objs[sorted_keys[2][starts]].tolist(),
+            itertools.repeat(1),
+            span_tuples,
+            tag_objs[t_inv].tolist(),
+        )
+    )
+    g_trial = sorted_keys[0][starts]
+    trial_breaks = np.nonzero(g_trial[1:] != g_trial[:-1])[0] + 1
+    bounds = np.concatenate(([0], trial_breaks, [g_trial.size])).tolist()
+    moves_of = [outcome.moves for outcome in outcomes]
+    for trial, lo, hi in zip(
+        g_trial[bounds[:-1]].tolist(), bounds[:-1], bounds[1:]
+    ):
+        moves_of[trial].extend(moves_all[lo:hi])
+    executed = np.bincount(sorted_keys[0], minlength=len(outcomes))
+    for outcome, count in zip(outcomes, executed.tolist()):
+        outcome.n_executed += count
+
+
+def run_pass_batch(
+    grids: np.ndarray,
+    frames: dict[Quadrant, QuadrantFrame],
+    phase: Phase,
+    scan_source: np.ndarray,
+    merge_mirror: bool = True,
+    guard: bool = False,
+    scan_limit: int | None = None,
+    interner: MoveInterner | None = None,
+) -> list[PassOutcome]:
+    """One pass over a whole stack of trials, one per-trial outcome each.
+
+    The cross-trial extension of :func:`run_pass`: ``grids`` stacks N
+    same-geometry live occupancy grids as ``(trial, row, col)`` and is
+    mutated in place; ``scan_source`` is the stack the scan reads (the
+    live stack, or the iteration-start snapshot stack in pipelined
+    mode).  Every cumsum, argsort, and gather/scatter of the
+    single-trial pass simply gains the leading trial axis — the drain
+    closed forms are untouched because they only ever couple commands of
+    the same (trial, line) state — so N trials cost one NumPy dispatch
+    sequence instead of N.  Per trial, the emitted moves, tags, order,
+    and statistics are bit-identical to :func:`run_pass` on that trial
+    alone (property-tested through the batch scheduler).
+    """
+    n_trials = int(grids.shape[0])
+    outcomes = [PassOutcome(phase=phase) for _ in range(n_trials)]
+    if interner is None:
+        interner = MoveInterner()
+    table, scans = _build_batch_command_table(
+        outcomes, frames, phase, scan_source, scan_limit
+    )
+    if table is None:
+        return outcomes
+    horizontal = phase is Phase.ROW
+
+    state_of = np.repeat(np.arange(table.n_states), table.n_holes)
+    first_of = np.zeros(table.n_states, dtype=np.intp)
+    np.cumsum(table.n_holes[:-1], out=first_of[1:])
+    round_of = np.arange(state_of.size) - first_of[state_of]
+    trial_of_cmd = table.trial_of[state_of]
+
+    if not guard:
+        cur = table.holes_flat - round_of
+        span_base = table.span_base[state_of]
+        span_sign = table.span_sign[state_of]
+        a = span_base + span_sign * (cur + 1)
+        b = span_base + span_sign * (table.n_positions[state_of] - round_of - 1)
+        _emit_round_groups_batch(
+            outcomes,
+            phase,
+            merge_mirror,
+            trial_of=trial_of_cmd,
+            round_of=round_of,
+            dir_rank=table.dir_rank[state_of],
+            cur=cur,
+            quad_rank=table.quad_rank[state_of],
+            line_full=table.line_full[state_of],
+            span_start=np.minimum(a, b),
+            span_stop=np.maximum(a, b) + 1,
+            interner=interner,
+        )
+        for frame, scan in scans:
+            if scan.n_commands:
+                _apply_net_compaction_batch(grids, frame, scan)
+        return outcomes
+
+    # Guarded drain: the per-command fate closed forms of run_pass hold
+    # per (trial, line) state, so the only change is the trial index on
+    # every live-grid read and write.
+    holes = table.holes_flat
+    line_full = table.line_full[state_of]
+    span_base = table.span_base[state_of]
+    span_sign = table.span_sign[state_of]
+    n_positions = table.n_positions[state_of]
+
+    hole_coord = span_base + span_sign * holes
+    if horizontal:
+        stale = grids[trial_of_cmd, line_full, hole_coord]
+        prefix = np.zeros(
+            (n_trials, grids.shape[1], grids.shape[2] + 1), dtype=np.intp
+        )
+        np.cumsum(grids, axis=2, out=prefix[:, :, 1:])
+    else:
+        stale = grids[trial_of_cmd, hole_coord, line_full]
+        prefix = np.zeros(
+            (n_trials, grids.shape[1] + 1, grids.shape[2]), dtype=np.intp
+        )
+        np.cumsum(grids, axis=1, out=prefix[:, 1:, :])
+
+    has_suffix = np.zeros(holes.size, dtype=bool)
+    inner = np.nonzero(holes + 1 < n_positions)[0]
+    if inner.size:
+        sign = span_sign[inner]
+        a = span_base[inner] + sign * (holes[inner] + 1)
+        b = span_base[inner] + sign * (n_positions[inner] - 1)
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        t_inner = trial_of_cmd[inner]
+        if horizontal:
+            counts = (
+                prefix[t_inner, line_full[inner], hi + 1]
+                - prefix[t_inner, line_full[inner], lo]
+            )
+        else:
+            counts = (
+                prefix[t_inner, hi + 1, line_full[inner]]
+                - prefix[t_inner, lo, line_full[inner]]
+            )
+        has_suffix[inner] = counts > 0
+
+    executes = ~stale & has_suffix
+    stale_counts = np.bincount(trial_of_cmd[stale], minlength=n_trials)
+    empty_counts = np.bincount(
+        trial_of_cmd[~stale & ~has_suffix], minlength=n_trials
+    )
+    for trial, outcome in enumerate(outcomes):
+        outcome.n_skipped_stale = int(stale_counts[trial])
+        outcome.n_skipped_empty = int(empty_counts[trial])
+
+    inclusive = np.cumsum(executes)
+    exclusive = inclusive - executes
+    executed_before = exclusive - exclusive[first_of][state_of]
+
+    alive = np.nonzero(executes)[0]
+    if alive.size:
+        cur = holes[alive] - executed_before[alive]
+        sign = span_sign[alive]
+        a = span_base[alive] + sign * (cur + 1)
+        b = span_base[alive] + sign * (n_positions[alive] - executed_before[alive] - 1)
+        _emit_round_groups_batch(
+            outcomes,
+            phase,
+            merge_mirror,
+            trial_of=trial_of_cmd[alive],
+            round_of=round_of[alive],
+            dir_rank=table.dir_rank[state_of[alive]],
+            cur=cur,
+            quad_rank=table.quad_rank[state_of[alive]],
+            line_full=line_full[alive],
+            span_start=np.minimum(a, b),
+            span_stop=np.maximum(a, b) + 1,
+            interner=interner,
+        )
+        touched = np.unique(state_of[alive])
+        seg_index = np.zeros(table.n_states, dtype=np.intp)
+        seg_index[touched] = np.arange(touched.size)
+        _apply_guarded_compaction_batch(
+            grids,
+            horizontal,
+            trials=table.trial_of[touched],
+            lines=table.line_full[touched],
+            span_base=table.span_base[touched],
+            span_sign=table.span_sign[touched],
+            n_positions=table.n_positions[touched],
+            hole_seg=seg_index[state_of[alive]],
+            hole_pos=holes[alive],
+        )
+    return outcomes

@@ -21,7 +21,8 @@ target defects with individual atom moves; see :mod:`repro.core.repair`.
 
 from __future__ import annotations
 
-from typing import Callable
+import warnings
+from typing import Callable, Iterable
 
 from repro.aod.schedule import MoveSchedule
 from repro.config import DEFAULT_QRM_PARAMETERS, QrmParameters, ScanMode
@@ -62,6 +63,22 @@ class QrmScheduler:
         if array.geometry != self.geometry:
             raise ValueError("array geometry does not match the scheduler's geometry")
         return timed_schedule(lambda: self._analyse(array))
+
+    def schedule_batch(self, arrays: Iterable[AtomArray]) -> list[RearrangementResult]:
+        """Batch-first entry point: schedule a stack of arrays in one call.
+
+        With the production pass runner this delegates to the cross-trial
+        :class:`~repro.core.batch.BatchQrmScheduler`, whose per-trial
+        results are bit-identical to looping :meth:`schedule` but amortise
+        NumPy dispatch across the stack.  Any other ``pass_runner`` (the
+        per-command reference oracle) falls back to the loop — the oracle
+        stays strictly single-trial.
+        """
+        if self.pass_runner is run_pass:
+            from repro.core.batch import BatchQrmScheduler
+
+            return BatchQrmScheduler(self.geometry, self.params).schedule_batch(arrays)
+        return [self.schedule(array) for array in arrays]
 
     def _analyse(self, array: AtomArray) -> RearrangementResult:
         live = array.copy()
@@ -149,5 +166,19 @@ def rearrange(
     array: AtomArray,
     params: QrmParameters = DEFAULT_QRM_PARAMETERS,
 ) -> RearrangementResult:
-    """One-call convenience wrapper around :class:`QrmScheduler`."""
+    """Deprecated one-call wrapper around :class:`QrmScheduler`.
+
+    .. deprecated::
+        Construct schedulers through the registry instead —
+        ``get_algorithm("qrm", array.geometry)`` — and prefer the batch
+        API (``schedule_batch``) for more than one array.  This shim
+        keeps old call sites working while they migrate.
+    """
+    warnings.warn(
+        "rearrange() is deprecated; resolve the scheduler through "
+        "repro.baselines.get_algorithm('qrm', geometry) and use "
+        "schedule()/schedule_batch() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return QrmScheduler(array.geometry, params).schedule(array)

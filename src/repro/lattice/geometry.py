@@ -251,6 +251,42 @@ class QuadrantFrame:
             self.col0: self.col0 + self.n_cols,
         ] = block
 
+    def extract_batch(self, grids: np.ndarray) -> np.ndarray:
+        """Batched :meth:`extract` over stacked ``(trial, row, col)`` grids.
+
+        Returns this quadrant of every trial in local orientation as one
+        contiguous ``(trial, u, v)`` copy — the flips act on the two
+        trailing axes, trial order is preserved.
+        """
+        block = grids[
+            :,
+            self.row0: self.row0 + self.n_rows,
+            self.col0: self.col0 + self.n_cols,
+        ]
+        if self.flip_rows:
+            block = block[:, ::-1, :]
+        if self.flip_cols:
+            block = block[:, :, ::-1]
+        return np.ascontiguousarray(block)
+
+    def insert_batch(self, grids: np.ndarray, local: np.ndarray) -> None:
+        """Batched :meth:`insert`: write every trial's local block back."""
+        if local.shape[1:] != (self.n_rows, self.n_cols):
+            raise GeometryError(
+                f"local block shape {local.shape[1:]} does not match quadrant "
+                f"{self.quadrant.value} ({self.n_rows}x{self.n_cols})"
+            )
+        block = local
+        if self.flip_rows:
+            block = block[:, ::-1, :]
+        if self.flip_cols:
+            block = block[:, :, ::-1]
+        grids[
+            :,
+            self.row0: self.row0 + self.n_rows,
+            self.col0: self.col0 + self.n_cols,
+        ] = block
+
 
 @dataclass(frozen=True)
 class ArrayGeometry:

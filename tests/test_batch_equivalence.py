@@ -1,0 +1,305 @@
+"""Bit-identity of the cross-trial batched engine and the batch-first API.
+
+The batched QRM engine (:class:`repro.core.batch.BatchQrmScheduler`)
+stacks N same-geometry trials into one ``(trial, row, col)`` analysis;
+its differential oracle is N independent single-trial
+:class:`~repro.core.qrm.QrmScheduler` calls — same schedules, same tags,
+same iteration statistics, same convergence, same repair.  The suite
+also pins the API redesign around it: the registry's uniform factory
+signature and ``-reference`` keys, the loop fallback of
+:func:`repro.baselines.base.schedule_batch`, the campaign engine's
+batched execution (byte-identical aggregates, shared cache entries),
+and the deprecation shim on :func:`repro.core.qrm.rearrange`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from oracles import (
+    assert_results_identical,
+    atom_arrays,
+    campaign_specs,
+    geometries,
+    occupancy_grids,
+    scan_limits,
+)
+
+from repro.baselines.base import (
+    DEFAULT_ALGORITHMS,
+    get_algorithm,
+    register_algorithm,
+    resolve_algorithms,
+    schedule_batch,
+    supports_batch,
+    unregister_algorithm,
+)
+from repro.config import QrmParameters, ScanMode
+from repro.core.batch import BatchQrmScheduler
+from repro.core.qrm import QrmScheduler, rearrange
+from repro.lattice.array import AtomArray
+from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.loading import load_uniform
+
+#: Batch sizes the equivalence property sweeps: the singleton batch, a
+#: small odd group, and one larger than any strategy-drawn trial pool.
+BATCH_SIZES = (1, 3, 17)
+
+
+def _batch_of(draw_grid, geometry, count):
+    return [AtomArray(geometry, draw_grid(geometry)) for _ in range(count)]
+
+
+def _assert_batch_matches_serial(geometry, arrays, params):
+    serial = QrmScheduler(geometry, params)
+    batched = BatchQrmScheduler(geometry, params)
+    expected = [serial.schedule(array) for array in arrays]
+    actual = batched.schedule_batch(arrays)
+    assert len(actual) == len(expected)
+    for ours, reference in zip(actual, expected):
+        assert_results_identical(ours, reference)
+        assert ours.iterations == reference.iterations
+        assert ours.repair_moves == reference.repair_moves
+
+
+class TestBatchedEngineEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), geometry=geometries())
+    def test_batched_schedule_is_bit_identical(self, data, geometry):
+        count = data.draw(st.sampled_from(BATCH_SIZES))
+        arrays = [
+            AtomArray(geometry, data.draw(occupancy_grids(geometry)))
+            for _ in range(count)
+        ]
+        params = QrmParameters(
+            scan_mode=data.draw(
+                st.sampled_from((ScanMode.PIPELINED, ScanMode.FRESH))
+            ),
+            merge_mirror_quadrants=data.draw(st.booleans()),
+            enable_repair=data.draw(st.booleans()),
+            scan_limit=data.draw(scan_limits()),
+        )
+        _assert_batch_matches_serial(geometry, arrays, params)
+
+    @pytest.mark.parametrize("fill", [0.3, 0.5, 0.7])
+    def test_mixed_fill_stack_at_fixed_geometry(self, fill, rng):
+        geometry = ArrayGeometry.square(16, 10)
+        arrays = [
+            load_uniform(geometry, fill, rng=np.random.default_rng(seed))
+            for seed in range(8)
+        ]
+        _assert_batch_matches_serial(geometry, arrays, QrmParameters())
+
+    def test_interner_reuse_across_calls_changes_nothing(self):
+        geometry = ArrayGeometry.square(12, 6)
+        params = QrmParameters()
+        batched = BatchQrmScheduler(geometry, params)
+        serial = QrmScheduler(geometry, params)
+        for seed in range(4):  # same engine, four successive batches
+            arrays = [
+                load_uniform(geometry, 0.5, rng=np.random.default_rng(10 * seed + k))
+                for k in range(3)
+            ]
+            expected = [serial.schedule(array) for array in arrays]
+            for ours, reference in zip(batched.schedule_batch(arrays), expected):
+                assert_results_identical(ours, reference)
+
+    def test_empty_batch(self):
+        assert BatchQrmScheduler(ArrayGeometry.square(8)).schedule_batch([]) == []
+
+    def test_geometry_mismatch_rejected(self):
+        batched = BatchQrmScheduler(ArrayGeometry.square(8))
+        stray = load_uniform(ArrayGeometry.square(10), 0.5, rng=0)
+        with pytest.raises(ValueError, match="geometry"):
+            batched.schedule_batch([stray])
+
+    def test_amortised_wall_time_convention(self):
+        geometry = ArrayGeometry.square(12, 6)
+        arrays = [load_uniform(geometry, 0.5, rng=seed) for seed in range(4)]
+        results = BatchQrmScheduler(geometry).schedule_batch(arrays)
+        times = {result.wall_time_s for result in results}
+        assert len(times) == 1  # every trial carries batch time / N
+        assert times.pop() > 0
+
+
+class TestScheduleBatchDispatch:
+    @settings(max_examples=25, deadline=None)
+    @given(array=atom_arrays(), count=st.integers(min_value=1, max_value=4))
+    def test_fallback_loops_schedule(self, array, count):
+        algorithm = get_algorithm("tetris", array.geometry)
+        assert not supports_batch(algorithm)
+        expected = [algorithm.schedule(array) for _ in range(count)]
+        actual = schedule_batch(algorithm, [array] * count)
+        for ours, reference in zip(actual, expected):
+            assert_results_identical(ours, reference)
+
+    def test_qrm_scheduler_dispatches_to_batched_engine(self):
+        geometry = ArrayGeometry.square(12, 6)
+        scheduler = get_algorithm("qrm", geometry)
+        assert supports_batch(scheduler)
+        arrays = [load_uniform(geometry, 0.5, rng=seed) for seed in range(3)]
+        expected = [scheduler.schedule(array) for array in arrays]
+        for ours, reference in zip(schedule_batch(scheduler, arrays), expected):
+            assert_results_identical(ours, reference)
+
+    def test_reference_qrm_falls_back_to_serial(self):
+        geometry = ArrayGeometry.square(8, 4)
+        reference = get_algorithm("qrm-reference", geometry)
+        arrays = [load_uniform(geometry, 0.5, rng=seed) for seed in range(2)]
+        expected = [reference.schedule(array) for array in arrays]
+        for ours, want in zip(reference.schedule_batch(arrays), expected):
+            assert_results_identical(ours, want)
+
+
+class TestRegistryRedesign:
+    def test_defaults_resolve(self):
+        assert resolve_algorithms() == DEFAULT_ALGORITHMS
+        for name in DEFAULT_ALGORITHMS:
+            assert get_algorithm(name, ArrayGeometry.square(8)) is not None
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            resolve_algorithms(["qrm", "nope"])
+        with pytest.raises(KeyError, match="known:"):
+            get_algorithm("nope", ArrayGeometry.square(8))
+
+    @pytest.mark.parametrize("name", DEFAULT_ALGORITHMS)
+    def test_every_default_has_a_reference_twin(self, name):
+        geometry = ArrayGeometry.square(8, 4)
+        fast = get_algorithm(name, geometry)
+        slow = get_algorithm(f"{name}-reference", geometry)
+        array = load_uniform(geometry, 0.5, rng=1)
+        assert_results_identical(slow.schedule(array), fast.schedule(array))
+
+    def test_uniform_factory_signature(self):
+        geometry = ArrayGeometry.square(8, 4)
+        # Every built-in accepts (geometry, *, rng=None, **params).
+        for name in DEFAULT_ALGORITHMS:
+            get_algorithm(name, geometry, rng=np.random.default_rng(0))
+        tuned = get_algorithm("qrm", geometry, n_iterations=2)
+        assert tuned.params.n_iterations == 2
+
+    def test_legacy_single_argument_factory_still_resolves(self):
+        register_algorithm("legacy-test", lambda geometry: object())
+        try:
+            assert get_algorithm("legacy-test", ArrayGeometry.square(8)) is not None
+        finally:
+            unregister_algorithm("legacy-test")
+
+    def test_rearrange_is_deprecated(self):
+        array = load_uniform(ArrayGeometry.square(8, 4), 0.5, rng=0)
+        with pytest.deprecated_call():
+            result = rearrange(array)
+        assert result.schedule is not None
+
+
+class TestBatchedCampaign:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        spec=campaign_specs(),
+        batch_size=st.sampled_from((2, 3, 32)),
+    )
+    def test_batched_aggregates_match_serial(self, spec, batch_size):
+        from repro.campaign.engine import run_campaign
+
+        serial = run_campaign(spec)
+        batched = run_campaign(spec, batch_size=batch_size)
+        assert batched.to_csv(stats=True) == serial.to_csv(stats=True)
+
+    def test_batch_grouping_never_crosses_cells(self):
+        from repro.campaign.engine import batch_trials
+        from repro.campaign.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            name="grouping",
+            algorithms=("qrm", "tetris"),
+            sizes=(8,),
+            fills=(0.4, 0.6),
+            n_seeds=5,
+            master_seed=0,
+        )
+        from repro.campaign.trial import TrialSpec
+
+        trials = [
+            TrialSpec(cell=cell, seed_index=seed, master_seed=spec.master_seed)
+            for cell in spec.expand()
+            for seed in range(spec.n_seeds)
+        ]
+        batches = batch_trials(trials, batch_size=3)
+        assert [trial for batch in batches for trial in batch] == trials
+        for batch in batches:
+            assert len(batch) <= 3
+            assert all(trial.cell == batch[0].cell for trial in batch)
+        # 5 seeds per cell at batch_size 3 -> groups of 3+2 per cell.
+        assert [len(batch) for batch in batches] == [3, 2] * 4
+
+    def test_batched_and_serial_runs_share_cache(self, tmp_path):
+        from repro.campaign.cache import TrialCache
+        from repro.campaign.engine import run_campaign
+        from repro.campaign.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            name="cache-sharing",
+            algorithms=("qrm",),
+            sizes=(8,),
+            fills=(0.5,),
+            n_seeds=6,
+            master_seed=5,
+        )
+        cache = TrialCache(tmp_path)
+        warm = run_campaign(spec, cache=cache, batch_size=4)
+        assert (warm.cache_hits, warm.cache_misses) == (0, 6)
+        serial = run_campaign(spec, cache=cache)
+        assert (serial.cache_hits, serial.cache_misses) == (6, 0)
+        assert serial.to_csv(stats=True) == warm.to_csv(stats=True)
+
+    def test_batched_failure_names_the_trial(self):
+        from repro.campaign.engine import run_campaign
+        from repro.campaign.spec import CampaignSpec
+        from repro.errors import ExecutionError
+
+        spec = CampaignSpec(
+            name="boom",
+            algorithms=("qrm",),
+            sizes=(7,),  # odd width -> GeometryError inside the batch
+            fills=(0.5,),
+            n_seeds=2,
+            master_seed=0,
+        )
+        with pytest.raises(ExecutionError, match="seed 0"):
+            run_campaign(spec, batch_size=2)
+
+    def test_batch_size_validation(self):
+        from repro.campaign.engine import ExperimentCampaign
+        from repro.campaign.spec import CampaignSpec
+        from repro.errors import ConfigurationError
+
+        spec = CampaignSpec(
+            name="bad", algorithms=("qrm",), sizes=(8,), fills=(0.5,), n_seeds=1
+        )
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            ExperimentCampaign(spec, batch_size=0)
+
+
+class TestBatchedCampaignExecutors:
+    @pytest.mark.parametrize("kind", ["process", "async"])
+    def test_aggregates_identical_across_executors(self, kind):
+        from repro.campaign.engine import run_campaign
+        from repro.campaign.executors import make_executor
+        from repro.campaign.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            name="executors",
+            algorithms=("qrm", "tetris"),
+            sizes=(8,),
+            fills=(0.5,),
+            n_seeds=5,
+            master_seed=2,
+        )
+        serial = run_campaign(spec, batch_size=3)
+        parallel = run_campaign(
+            spec, executor=make_executor(2, kind=kind), batch_size=3
+        )
+        assert parallel.to_csv(stats=True) == serial.to_csv(stats=True)

@@ -36,9 +36,24 @@ def test_committed_bench_artifact_validates(committed_payload):
 def test_committed_bench_has_all_component_speedups(committed_payload):
     components = committed_payload["component_speedups"]
     assert set(components) == set(COMPONENT_NAMES)
-    assert {"mta1", "guarded_drain"} <= set(components)
-    for block in components.values():
+    assert {"mta1", "guarded_drain", "batched_qrm"} <= set(components)
+    for name, block in components.items():
+        if name == "batched_qrm":
+            continue  # pinned separately below — different block shape
         assert block["speedup_vs_reference"] > 1.0
+
+
+def test_committed_bench_batched_qrm_hits_the_speedup_bar(committed_payload):
+    # The cross-trial batched engine's acceptance bar: >= 2x amortised
+    # per-trial speedup at batch size 32 on the 64x64 headline case.
+    block = committed_payload["component_speedups"]["batched_qrm"]
+    assert block["size"] == 64
+    by_batch = {entry["batch_size"]: entry for entry in block["batches"]}
+    assert 32 in by_batch
+    assert by_batch[32]["speedup_vs_single"] >= 2.0
+    for entry in block["batches"]:
+        assert entry["speedup_vs_single"] > 0
+        assert entry["amortized_ms"]["mean"] > 0
 
 
 def test_committed_bench_covers_mta1_on_the_full_grid(committed_payload):
