@@ -62,6 +62,12 @@ def test_bench_perf_smoke(seed_base, results_dir, emit):
                 assert entry["amortized_ms"]["mean"] > 0
                 assert entry["speedup_vs_single"] > 0
             continue
+        if name == "service_latency":
+            for entry in block["concurrency"]:
+                assert entry["unbatched"]["amortized_ms"] > 0
+                assert entry["batched"]["amortized_ms"] > 0
+                assert entry["speedup_batched"] > 0
+            continue
         assert block["vectorized_ms"]["mean"] > 0
         assert block["speedup_vs_reference"] > 0
 
@@ -78,10 +84,27 @@ def test_batched_qrm_speedup_block_shape(seed_base):
         assert entry["amortized_ms"]["mean"] > 0
 
 
+def test_service_latency_block_shape(seed_base):
+    from repro.analysis.perf import measure_service_latency
+
+    block = measure_service_latency(
+        size=8, concurrencies=(1, 2), requests_per_client=2,
+        master_seed=seed_base,
+    )
+    assert set(block) >= {"size", "fill", "batch_window_ms", "concurrency"}
+    assert [entry["clients"] for entry in block["concurrency"]] == [1, 2]
+    for entry in block["concurrency"]:
+        for mode in ("unbatched", "batched"):
+            assert entry[mode]["p50_ms"] <= entry[mode]["p99_ms"]
+            assert entry[mode]["amortized_ms"] > 0
+        assert entry["speedup_batched"] > 0
+
+
 def test_perf_gate_on_own_report(seed_base):
     # A report always gates cleanly against itself, and the gate flags a
-    # fabricated collapse of any ratio it tracks.
-    from repro.analysis.perf_gate import check_perf_regression
+    # fabricated collapse of any ratio it tracks — all of them in one
+    # evaluation, not just the first.
+    from repro.analysis.perf_gate import check_perf_regression, evaluate_gate
 
     report = run_perf_suite(
         sizes=(16,),
@@ -92,6 +115,7 @@ def test_perf_gate_on_own_report(seed_base):
         speedup_size=16,
     ).to_dict()
     assert check_perf_regression(report, report) == []
+    assert evaluate_gate(report, report).ok
 
     slipped = json.loads(json.dumps(report))
     slipped["speedup"]["speedup_vs_reference"] = (
@@ -100,9 +124,44 @@ def test_perf_gate_on_own_report(seed_base):
     slipped["component_speedups"]["batched_qrm"]["batches"][0][
         "speedup_vs_single"
     ] *= 0.5
+    slipped["component_speedups"]["service_latency"]["concurrency"][-1][
+        "speedup_batched"
+    ] *= 0.5
     failures = check_perf_regression(slipped, report)
     assert any("qrm@16 speedup_vs_reference" in failure for failure in failures)
     assert any("batched_qrm@16" in failure for failure in failures)
+    assert any("service_latency@16" in failure for failure in failures)
+
+    outcome = evaluate_gate(slipped, report)
+    assert not outcome.ok
+    assert outcome.failures == failures
+    # Every slipping ratio lands in the one combined message.
+    for failure in failures:
+        assert failure in outcome.message()
+
+
+def test_perf_gate_notices_name_skipped_components(seed_base):
+    # A smoke report that measured fewer blocks than the committed
+    # artefact must say which comparisons it skipped, not stay silent.
+    from repro.analysis.perf_gate import evaluate_gate
+
+    report = run_perf_suite(
+        sizes=(16,),
+        fills=(0.5,),
+        algorithms=("qrm",),
+        trials=1,
+        master_seed=seed_base,
+        speedup_size=None,
+    ).to_dict()
+    baseline = json.loads(json.dumps(report))
+    baseline["speedup"] = {"size": 16, "fill": 0.5, "speedup_vs_seed": 2.0}
+    baseline["component_speedups"] = {
+        "tetris": {"size": 16, "fill": 0.5, "speedup_vs_reference": 2.0}
+    }
+    outcome = evaluate_gate(report, baseline)
+    assert outcome.ok  # nothing comparable, so nothing can slip
+    assert any("qrm speedup" in notice for notice in outcome.notices)
+    assert any("'tetris'" in notice for notice in outcome.notices)
 
 
 def test_speedup_block_shape(seed_base):

@@ -46,16 +46,27 @@ from repro.baselines.base import DEFAULT_ALGORITHMS, get_algorithm
 from repro.lattice.geometry import ArrayGeometry
 from repro.lattice.loading import load_uniform
 
-#: Bump when the JSON layout changes (v4: the ``batched_qrm`` component
-#: records amortised per-trial cost vs batch size — a different block
-#: shape from the vectorised-vs-reference pairs).
-BENCH_SCHEMA_VERSION = 4
+#: Bump when the JSON layout changes (v5: the ``service_latency``
+#: component records closed-loop p50/p95/p99 request latency and
+#: amortised throughput through the scheduling service at several
+#: client concurrencies, batching on vs off).
+BENCH_SCHEMA_VERSION = 5
 
 #: Components with a live before/after speedup measurement.  All but
-#: ``batched_qrm`` time a vectorised path against its per-command
-#: reference oracle; ``batched_qrm`` times the cross-trial batched
-#: engine against serial single-trial scheduling.
-COMPONENT_NAMES = ("repair", "tetris", "psca", "mta1", "guarded_drain", "batched_qrm")
+#: ``batched_qrm`` and ``service_latency`` time a vectorised path
+#: against its per-command reference oracle; ``batched_qrm`` times the
+#: cross-trial batched engine against serial single-trial scheduling,
+#: and ``service_latency`` times the scheduling service with
+#: micro-batching on against the same service with batching off.
+COMPONENT_NAMES = (
+    "repair",
+    "tetris",
+    "psca",
+    "mta1",
+    "guarded_drain",
+    "batched_qrm",
+    "service_latency",
+)
 
 DEFAULT_SIZES = (32, 64, 128)
 DEFAULT_FILLS = (0.3, 0.5, 0.7)
@@ -64,6 +75,11 @@ DEFAULT_FILLS = (0.3, 0.5, 0.7)
 #: batching overhead, 8/32 the amortisation sweet spot, 128 the
 #: cache-footprint decay on large stacks.
 DEFAULT_BATCH_SIZES = (1, 8, 32, 128)
+
+#: Client counts the ``service_latency`` block sweeps.  1 exposes the
+#: pure batch-window latency cost, 4 the break-even region, 16 the
+#: amortisation the service exists for.
+DEFAULT_SERVICE_CONCURRENCIES = (1, 4, 16)
 
 #: Largest array each slow scheduler is benchmarked at by default.
 #: Cases beyond a cap are recorded in the report's ``skipped`` list —
@@ -208,6 +224,22 @@ class PerfReport:
                     f"batched_qrm {s['size']}x{s['size']}: "
                     f"single {s['single_ms']['mean']:.2f} ms/trial; "
                     f"amortised {per_batch}"
+                )
+                continue
+            if name == "service_latency":
+                per_level = "; ".join(
+                    f"c={e['clients']}: p50 "
+                    f"{e['unbatched']['p50_ms']:.2f}->"
+                    f"{e['batched']['p50_ms']:.2f} ms, p99 "
+                    f"{e['unbatched']['p99_ms']:.2f}->"
+                    f"{e['batched']['p99_ms']:.2f} ms, "
+                    f"{e['speedup_batched']:.2f}x amortised"
+                    for e in s["concurrency"]
+                )
+                parts.append(
+                    f"service_latency {s['size']}x{s['size']} "
+                    f"(unbatched->batched, window "
+                    f"{s['batch_window_ms']:g} ms): {per_level}"
                 )
                 continue
             parts.append(
@@ -527,6 +559,147 @@ def measure_batched_qrm_speedup(
     }
 
 
+def measure_service_latency(
+    size: int = 64,
+    fill: float = 0.5,
+    concurrencies: Sequence[int] = DEFAULT_SERVICE_CONCURRENCIES,
+    requests_per_client: int = 8,
+    master_seed: int = 0,
+    batch_window: float = 0.002,
+    max_batch_size: int = 32,
+) -> dict:
+    """Time closed-loop scheduling requests through the service.
+
+    For each concurrency level two servers run side by side — one with
+    micro-batching off (``max_batch_size=1``), one with the production
+    window — and that many closed-loop client threads each fire
+    ``requests_per_client`` sequential QRM requests per round, recording
+    per-request latency.  Rounds alternate unbatched/batched inside each
+    of two sweeps (drift never lands on one side only, per the
+    interleaving convention above), with an unmeasured warm-up request
+    per client so scheduler caches and connections are hot, and a GC
+    sweep before every timed round.
+
+    Percentiles pool both sweeps' latencies; the amortised per-request
+    cost is the *minimum* round wall over the sweeps divided by the
+    round's request count — the same best-of minima convention every
+    other gated ratio uses.  ``speedup_batched`` is the ratio of those
+    amortised minima (unbatched / batched): above 1, concurrent clients
+    pay less per schedule with batching on.  At concurrency 1 the ratio
+    is *expected* to sit below 1 — a lone closed-loop client pays the
+    full batch window on every request, the classic latency-for-
+    throughput trade — which is why the regression gate only pins the
+    highest measured concurrency.
+    """
+    import threading
+
+    from repro.service import SchedulerKey, ServiceClient, serve_in_thread
+
+    geometry = ArrayGeometry.square(size)
+    key = SchedulerKey(
+        geometry=(
+            geometry.width,
+            geometry.height,
+            geometry.target_width,
+            geometry.target_height,
+        )
+    )
+    entries = []
+    for clients_n in sorted(concurrencies):
+        arrays = [
+            [
+                load_uniform(geometry, fill, rng=master_seed + 1000 * w + index)
+                for index in range(requests_per_client)
+            ]
+            for w in range(clients_n)
+        ]
+
+        def run_round(client_pool: list) -> tuple[list[float], float]:
+            latencies: list[list[float]] = [[] for _ in client_pool]
+            barrier = threading.Barrier(len(client_pool) + 1)
+
+            def worker(w: int, client) -> None:
+                barrier.wait()
+                for array in arrays[w]:
+                    start = time.perf_counter()
+                    client.schedule(key, array)
+                    latencies[w].append((time.perf_counter() - start) * 1e3)
+
+            threads = [
+                threading.Thread(target=worker, args=(w, client), daemon=True)
+                for w, client in enumerate(client_pool)
+            ]
+            for thread in threads:
+                thread.start()
+            gc.collect()
+            barrier.wait()
+            start = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            wall_ms = (time.perf_counter() - start) * 1e3
+            return [sample for per in latencies for sample in per], wall_ms
+
+        with serve_in_thread(max_batch_size=1) as off_server, serve_in_thread(
+            batch_window=batch_window, max_batch_size=max_batch_size
+        ) as on_server:
+            pool = {
+                name: [
+                    ServiceClient(server.address) for _ in range(clients_n)
+                ]
+                for name, server in (
+                    ("unbatched", off_server),
+                    ("batched", on_server),
+                )
+            }
+            try:
+                for clients in pool.values():
+                    for w, client in enumerate(clients):
+                        client.schedule(key, arrays[w][0])  # warm-up
+                pooled: dict[str, list[float]] = {name: [] for name in pool}
+                walls: dict[str, list[float]] = {name: [] for name in pool}
+                for _ in range(2):
+                    for name in ("unbatched", "batched"):
+                        samples, wall_ms = run_round(pool[name])
+                        pooled[name].extend(samples)
+                        walls[name].append(wall_ms)
+            finally:
+                for clients in pool.values():
+                    for client in clients:
+                        client.close()
+
+        modes = {}
+        for name in pool:
+            samples = np.asarray(pooled[name])
+            amortized = min(walls[name]) / (clients_n * requests_per_client)
+            modes[name] = {
+                "requests": int(samples.size),
+                "p50_ms": float(np.percentile(samples, 50)),
+                "p95_ms": float(np.percentile(samples, 95)),
+                "p99_ms": float(np.percentile(samples, 99)),
+                "amortized_ms": amortized,
+                "throughput_rps": 1e3 / amortized,
+            }
+        entries.append(
+            {
+                "clients": clients_n,
+                "unbatched": modes["unbatched"],
+                "batched": modes["batched"],
+                "speedup_batched": (
+                    modes["unbatched"]["amortized_ms"]
+                    / modes["batched"]["amortized_ms"]
+                ),
+            }
+        )
+    return {
+        "size": size,
+        "fill": fill,
+        "trials": requests_per_client,
+        "batch_window_ms": batch_window * 1e3,
+        "max_batch_size": max_batch_size,
+        "concurrency": entries,
+    }
+
+
 def measure_component_speedups(
     size: int = 64,
     fill: float = 0.5,
@@ -534,12 +707,18 @@ def measure_component_speedups(
     master_seed: int = 0,
 ) -> dict[str, dict]:
     """All per-component before/after blocks (:data:`COMPONENT_NAMES`)."""
-    # The batched block is timed first: the reference oracles timed
-    # below (mta1's in particular) churn through enough allocation to
-    # fragment the heap and depress batched throughput measured after
-    # them, and its ratio feeds a CI regression gate.
+    # The batched and service blocks are timed first: the reference
+    # oracles timed below (mta1's in particular) churn through enough
+    # allocation to fragment the heap and depress batched throughput
+    # measured after them, and their ratios feed CI regression gates.
     batched = measure_batched_qrm_speedup(
         size=size, fill=fill, trials=trials, master_seed=master_seed
+    )
+    service = measure_service_latency(
+        size=size,
+        fill=fill,
+        requests_per_client=max(trials, 3),
+        master_seed=master_seed,
     )
     blocks = {
         "repair": measure_repair_speedup(size, fill, trials, master_seed),
@@ -550,6 +729,7 @@ def measure_component_speedups(
             component, size, fill, trials, master_seed
         )
     blocks["batched_qrm"] = batched
+    blocks["service_latency"] = service
     return blocks
 
 
@@ -642,6 +822,62 @@ _COMPONENT_KEYS = (
     "speedup_vs_reference",
 )
 _BATCHED_KEYS = ("size", "fill", "trials", "single_ms", "batches")
+_SERVICE_KEYS = (
+    "size",
+    "fill",
+    "trials",
+    "batch_window_ms",
+    "max_batch_size",
+    "concurrency",
+)
+_SERVICE_MODE_KEYS = (
+    "requests",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "amortized_ms",
+    "throughput_rps",
+)
+
+
+def _check_service_block(block: dict) -> None:
+    """Validate the ``service_latency`` component's concurrency sweep."""
+    context = "component_speedups['service_latency']"
+    for key in _SERVICE_KEYS:
+        if key not in block:
+            raise ValueError(f"{context} missing {key!r}")
+    levels = block["concurrency"]
+    if not isinstance(levels, list) or not levels:
+        raise ValueError(f"{context}.concurrency must be a non-empty list")
+    for index, entry in enumerate(levels):
+        entry_context = f"{context}.concurrency[{index}]"
+        for key in ("clients", "unbatched", "batched", "speedup_batched"):
+            if key not in entry:
+                raise ValueError(f"{entry_context} missing {key!r}")
+        if not isinstance(entry["clients"], int) or entry["clients"] < 1:
+            raise ValueError(f"{entry_context}.clients must be a positive int")
+        for mode in ("unbatched", "batched"):
+            mode_block = entry[mode]
+            mode_context = f"{entry_context}.{mode}"
+            for key in _SERVICE_MODE_KEYS:
+                if not isinstance(mode_block.get(key), (int, float)):
+                    raise ValueError(
+                        f"{mode_context}.{key} missing or non-numeric"
+                    )
+            if not (
+                mode_block["p50_ms"]
+                <= mode_block["p95_ms"]
+                <= mode_block["p99_ms"]
+            ):
+                raise ValueError(
+                    f"{mode_context}: p50 <= p95 <= p99 violated"
+                )
+            if mode_block["amortized_ms"] <= 0:
+                raise ValueError(
+                    f"{mode_context}.amortized_ms must be positive"
+                )
+        if entry["speedup_batched"] <= 0:
+            raise ValueError(f"{entry_context}.speedup_batched must be positive")
 
 
 def _check_batched_block(block: dict) -> None:
@@ -732,6 +968,9 @@ def validate_bench_report(payload: dict) -> None:
             raise ValueError(f"unknown component speedup {name!r}")
         if name == "batched_qrm":
             _check_batched_block(block)
+            continue
+        if name == "service_latency":
+            _check_service_block(block)
             continue
         for key in _COMPONENT_KEYS:
             if key not in block:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Protocol
 
 from repro.core.result import RearrangementResult
+from repro.errors import ExecutionError
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import ArrayGeometry
 
@@ -124,12 +125,28 @@ def schedule_batch(
     engine) get the whole stack in one call; everything else schedules
     the arrays one by one — same results, same order, no batch-only
     capability required of implementors.
+
+    A failure inside the fallback loop is wrapped in
+    :class:`~repro.errors.ExecutionError` naming the failing trial's
+    position in the batch, so callers grouping many trials into one
+    call (the batched campaign path, the service dispatcher) can report
+    *which* trial is at fault; siblings scheduled before the failure are
+    untouched (the loop materialises one result at a time).
     """
     batch = list(arrays)
     native = getattr(algorithm, "schedule_batch", None)
     if callable(native):
         return native(batch)
-    return [algorithm.schedule(array) for array in batch]
+    results = []
+    for index, array in enumerate(batch):
+        try:
+            results.append(algorithm.schedule(array))
+        except Exception as exc:
+            raise ExecutionError(
+                f"schedule_batch fallback: trial {index} of {len(batch)} "
+                f"failed in {algorithm.name!r}: {type(exc).__name__}: {exc}"
+            ) from exc
+    return results
 
 
 def _register_builtins() -> None:

@@ -61,6 +61,7 @@ from repro.campaign.trial import (
     cell_sequence,
     run_trial,
     run_trial_guarded,
+    use_scheduler_factory,
 )
 
 __all__ = [
@@ -102,5 +103,6 @@ __all__ = [
     "run_campaign",
     "run_trial",
     "run_trial_guarded",
+    "use_scheduler_factory",
     "stable_hash",
 ]

@@ -27,7 +27,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence, TypeVar
 
-from repro.campaign.protocol import function_path, read_frame, write_frame
+from repro.campaign.protocol import (
+    function_path,
+    read_frame,
+    write_frame,
+    write_handshake,
+)
 from repro.errors import ConfigurationError, ExecutionError
 
 T = TypeVar("T")
@@ -107,7 +112,7 @@ class SubprocessWorkerTransport:
             stdout=subprocess.PIPE,
             env=env,
         )
-        write_frame(self._process.stdin, {"fn": fn_path})
+        write_handshake(self._process.stdin, {"fn": fn_path})
 
     def submit(self, index: int, item: Any) -> None:
         assert self._process is not None, "transport not started"

@@ -32,7 +32,7 @@ from repro.errors import ConfigurationError
 T = TypeVar("T")
 
 #: Executor kinds accepted by :func:`make_executor` and the CLI.
-EXECUTOR_KINDS = ("serial", "process", "async")
+EXECUTOR_KINDS = ("serial", "process", "async", "service")
 
 
 class CampaignExecutor(Protocol):
@@ -206,7 +206,10 @@ class AsyncExecutor:
 
 
 def make_executor(
-    workers: int | None, chunksize: int = 1, kind: str = "process"
+    workers: int | None,
+    chunksize: int = 1,
+    kind: str = "process",
+    service_addr: str | tuple[str, int] | None = None,
 ) -> CampaignExecutor:
     """CLI helper mapping ``--workers``/``--executor`` to an executor.
 
@@ -214,11 +217,27 @@ def make_executor(
     ``"process"`` kind, 0/1/None workers degrade to the serial executor
     (the pre-async CLI behaviour); ``"async"`` always builds an
     :class:`AsyncExecutor`, whose worker count defaults to the CPU
-    count when ``workers`` is None.
+    count when ``workers`` is None; ``"service"`` runs trials as
+    clients of a scheduling server (``repro serve``) and requires
+    ``service_addr``.
     """
     if kind not in EXECUTOR_KINDS:
         raise ConfigurationError(
             f"unknown executor kind '{kind}'; choose from {EXECUTOR_KINDS}"
+        )
+    if kind == "service":
+        if service_addr is None:
+            raise ConfigurationError(
+                "the service executor needs the server address "
+                "(--service-addr host:port)"
+            )
+        from repro.service.executor import ServiceExecutor
+
+        return ServiceExecutor(service_addr)
+    if service_addr is not None:
+        raise ConfigurationError(
+            f"--service-addr only applies to the service executor, "
+            f"not '{kind}'"
         )
     if kind == "serial":
         return SerialExecutor()

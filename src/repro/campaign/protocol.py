@@ -1,10 +1,22 @@
-"""Frame protocol shared by the dispatch client and the worker.
+"""Frame protocol shared by the dispatch client, the worker and the service.
 
 Length-prefixed pickle frames over a byte stream: one unsigned
-big-endian 32-bit payload length, then the pickled payload.  The
-handshake frame names the work function as a ``"module:qualname"``
-import path; work frames are ``(index, item)``; result frames are
-``("ok", index, result)`` or ``("error", index, message)``.
+big-endian 32-bit payload length, then the pickled payload.  A stream
+opens with a two-byte handshake preamble — :data:`PROTOCOL_MAGIC` then
+:data:`PROTOCOL_VERSION` — followed by a regular frame carrying the
+handshake payload, so a stray process writing garbage into a worker's
+stdin (or a port scanner hitting the scheduling service) fails fast
+with a :class:`ConfigurationError` instead of a pickle explosion.
+:func:`read_frame` additionally bounds the declared payload length
+(:data:`MAX_FRAME_BYTES` by default): a corrupt or hostile header
+cannot trigger a multi-gigabyte allocation.
+
+For the worker protocol the handshake payload names the work function
+as a ``"module:qualname"`` import path; work frames are
+``(index, item)``; result frames are ``("ok", index, result)`` or
+``("error", index, message)``.  The scheduling service
+(:mod:`repro.service`) speaks the same frames asynchronously with its
+own payload vocabulary.
 
 Lives apart from :mod:`repro.campaign.worker` so that importing the
 campaign package (which pulls in the dispatch client) never pre-imports
@@ -23,6 +35,21 @@ from repro.errors import ConfigurationError
 #: Frame header: one unsigned big-endian 32-bit payload length.
 _HEADER = struct.Struct(">I")
 
+#: First byte of every handshake.  Deliberately a non-ASCII value: a
+#: text-protocol client (HTTP, JSON lines) can never start with it, so
+#: servers can sniff the stream kind from the first byte.
+PROTOCOL_MAGIC = 0xA7
+
+#: Bump when the frame vocabulary changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Default ceiling on a single frame's declared payload length.  Far
+#: beyond any real schedule or occupancy stack (a 512x512 bool grid is
+#: 256 KiB) while keeping a garbage header from allocating gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_PREAMBLE = struct.Struct(">BB")
+
 
 def write_frame(stream: BinaryIO, payload: Any) -> None:
     """Pickle ``payload`` and write it as one length-prefixed frame."""
@@ -32,18 +59,61 @@ def write_frame(stream: BinaryIO, payload: Any) -> None:
     stream.flush()
 
 
-def read_frame(stream: BinaryIO) -> Any:
-    """Read one frame, or None on a clean EOF at a frame boundary."""
+def read_frame(stream: BinaryIO, max_bytes: int = MAX_FRAME_BYTES) -> Any:
+    """Read one frame, or None on a clean EOF at a frame boundary.
+
+    A declared payload length above ``max_bytes`` raises
+    :class:`ConfigurationError` *before* any allocation: an oversized
+    header means a corrupt, truncated-then-resynced, or hostile stream,
+    and the right failure mode is a clear error, not an OOM.
+    """
     header = stream.read(_HEADER.size)
     if not header:
         return None
     if len(header) < _HEADER.size:
         raise EOFError("truncated frame header")
     (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ConfigurationError(
+            f"frame declares a {length}-byte payload, above the "
+            f"{max_bytes}-byte limit — corrupt or non-protocol stream"
+        )
     data = stream.read(length)
     if len(data) < length:
         raise EOFError("truncated frame payload")
     return pickle.loads(data)
+
+
+def write_handshake(stream: BinaryIO, payload: Any) -> None:
+    """Open a frame stream: magic byte, version byte, handshake frame."""
+    stream.write(_PREAMBLE.pack(PROTOCOL_MAGIC, PROTOCOL_VERSION))
+    write_frame(stream, payload)
+
+
+def read_handshake(stream: BinaryIO, max_bytes: int = MAX_FRAME_BYTES) -> Any:
+    """Validate the preamble and return the handshake payload.
+
+    Returns ``None`` on a clean EOF before any byte (a peer that
+    connected and left).  A wrong magic byte or an unsupported version
+    raises :class:`ConfigurationError` naming what arrived.
+    """
+    preamble = stream.read(_PREAMBLE.size)
+    if not preamble:
+        return None
+    if len(preamble) < _PREAMBLE.size:
+        raise EOFError("truncated handshake preamble")
+    magic, version = _PREAMBLE.unpack(preamble)
+    if magic != PROTOCOL_MAGIC:
+        raise ConfigurationError(
+            f"bad handshake magic 0x{magic:02X} (expected "
+            f"0x{PROTOCOL_MAGIC:02X}) — not a repro frame stream"
+        )
+    if version != PROTOCOL_VERSION:
+        raise ConfigurationError(
+            f"unsupported protocol version {version} "
+            f"(this side speaks {PROTOCOL_VERSION})"
+        )
+    return read_frame(stream, max_bytes=max_bytes)
 
 
 def resolve_function(path: str) -> Callable:

@@ -3,8 +3,9 @@
 ``python -m repro.campaign.worker`` speaks the length-prefixed pickle
 frame protocol of :mod:`repro.campaign.protocol` over stdin/stdout:
 
-* the first inbound frame names the work function as an import path
-  (``"module:qualname"``, e.g. ``"repro.campaign.trial:run_trial"``);
+* the stream opens with the magic/version handshake whose payload names
+  the work function as an import path (``"module:qualname"``, e.g.
+  ``"repro.campaign.trial:run_trial"``);
 * every following inbound frame is one ``(index, item)`` work unit;
 * every outbound frame is ``("ok", index, result)`` or
   ``("error", index, message)``;
@@ -21,12 +22,17 @@ import contextlib
 import sys
 from typing import BinaryIO
 
-from repro.campaign.protocol import read_frame, resolve_function, write_frame
+from repro.campaign.protocol import (
+    read_frame,
+    read_handshake,
+    resolve_function,
+    write_frame,
+)
 
 
 def serve(stdin: BinaryIO, stdout: BinaryIO) -> int:
     """Run the worker loop until EOF; returns the number of work units."""
-    handshake = read_frame(stdin)
+    handshake = read_handshake(stdin)
     if handshake is None:
         return 0
     fn = resolve_function(handshake["fn"])

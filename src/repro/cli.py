@@ -211,16 +211,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"[written to {path}]")
 
     if baseline is not None:
-        from repro.analysis.perf_gate import check_perf_regression
+        from repro.analysis.perf_gate import evaluate_gate
 
-        failures = check_perf_regression(
+        outcome = evaluate_gate(
             report.to_dict(), baseline, tolerance=args.gate_tolerance
         )
-        if failures:
-            for failure in failures:
-                print(f"[gate] REGRESSION {failure}", file=sys.stderr)
+        for notice in outcome.notices:
+            print(f"[gate] skipped {notice}", file=sys.stderr)
+        if not outcome.ok:
+            print(outcome.message(), file=sys.stderr)
             return 1
         print(f"[gate] speedups within {args.gate_tolerance:.0%} of {args.gate}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import SchedulingService
+
+    async def run() -> None:
+        service = SchedulingService(
+            host=args.host,
+            port=args.port,
+            batch_window=args.batch_window / 1000.0,
+            max_batch_size=args.max_batch_size,
+            cache_size=args.cache_size,
+        )
+        await service.start()
+        if not args.quiet:
+            host, port = service.address
+            batching = (
+                f"micro-batching up to {service.max_batch_size} requests "
+                f"per {args.batch_window:g}ms window"
+                if service.max_batch_size > 1
+                else "batching off"
+            )
+            print(
+                f"[serve] rearrangement service on {host}:{port} ({batching}; "
+                f"pickle frames + JSON lines on the same port)",
+                file=sys.stderr,
+                flush=True,
+            )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+            if not args.quiet:
+                stats = service.snapshot_stats()
+                print(f"[serve] stopped; stats: {stats}", file=sys.stderr)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        return 130
     return 0
 
 
@@ -309,7 +355,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else TrialCache(args.cache_dir)
     campaign = ExperimentCampaign(
         spec,
-        executor=make_executor(args.workers, args.chunksize, kind=args.executor),
+        executor=make_executor(
+            args.workers,
+            args.chunksize,
+            kind=args.executor,
+            service_addr=args.service_addr,
+        ),
         cache=cache,
         observer=observer,
         journal=journal,
@@ -489,11 +540,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--executor",
-        choices=["serial", "process", "async"],
+        choices=["serial", "process", "async", "service"],
         default="process",
         help="execution backend: 'process' (default; serial "
         "when --workers <= 1), 'async' (asyncio-driven "
-        "pool with bounded in-flight trials), or 'serial'",
+        "pool with bounded in-flight trials), 'serial', or "
+        "'service' (schedule through a running repro serve "
+        "instance; needs --service-addr)",
+    )
+    p.add_argument(
+        "--service-addr",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="address of the scheduling service for "
+        "--executor service",
     )
     p.add_argument(
         "--chunksize",
@@ -630,6 +691,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-case progress on stderr"
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the rearrangement scheduling service",
+        description=(
+            "Start the long-lived scheduling server: clients submit "
+            "occupancy frames over TCP (length-prefixed pickle frames or "
+            "newline-delimited JSON on the same port) and stream back "
+            "schedules; concurrent requests for the same geometry are "
+            "micro-batched through the cross-trial engine and served from "
+            "warm per-geometry caches."
+        ),
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=7421,
+        help="TCP port (0 picks a free port; default 7421)",
+    )
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="milliseconds a wave stays open for concurrent "
+        "requests to pile in (default 2.0; 0 disables the "
+        "timer)",
+    )
+    p.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=32,
+        help="requests per schedule_batch call (1 = batching off)",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=8,
+        help="warm per-geometry scheduler LRU capacity",
+    )
+    p.add_argument("--quiet", action="store_true", help="suppress startup banner")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("resources", help="FPGA resource estimate")
     p.add_argument("--size", type=int, default=50)

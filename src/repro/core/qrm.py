@@ -57,6 +57,7 @@ class QrmScheduler:
         self.params = params
         self.pass_runner = pass_runner
         self.frames = {q: geometry.quadrant_frame(q) for q in Quadrant}
+        self._batch_engine = None
 
     def schedule(self, array: AtomArray) -> RearrangementResult:
         """Analyse ``array`` and produce the full movement schedule."""
@@ -70,14 +71,19 @@ class QrmScheduler:
         With the production pass runner this delegates to the cross-trial
         :class:`~repro.core.batch.BatchQrmScheduler`, whose per-trial
         results are bit-identical to looping :meth:`schedule` but amortise
-        NumPy dispatch across the stack.  Any other ``pass_runner`` (the
-        per-command reference oracle) falls back to the loop — the oracle
-        stays strictly single-trial.
+        NumPy dispatch across the stack.  The engine is constructed once
+        and kept on the instance: its ``MoveInterner`` tables only pay off
+        when they survive across calls, which is what makes a cached
+        scheduler in the service's per-geometry LRU actually *warm*.  Any
+        other ``pass_runner`` (the per-command reference oracle) falls
+        back to the loop — the oracle stays strictly single-trial.
         """
         if self.pass_runner is run_pass:
-            from repro.core.batch import BatchQrmScheduler
+            if self._batch_engine is None:
+                from repro.core.batch import BatchQrmScheduler
 
-            return BatchQrmScheduler(self.geometry, self.params).schedule_batch(arrays)
+                self._batch_engine = BatchQrmScheduler(self.geometry, self.params)
+            return self._batch_engine.schedule_batch(arrays)
         return [self.schedule(array) for array in arrays]
 
     def _analyse(self, array: AtomArray) -> RearrangementResult:

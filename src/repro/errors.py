@@ -40,6 +40,14 @@ class ExecutionError(ReproError):
     """A campaign trial (or its worker transport) failed while running."""
 
 
+class ServiceError(ExecutionError):
+    """A scheduling-service request failed (server error or dead link)."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """A service request exhausted its timeout and retry budget."""
+
+
 class SimulationError(ReproError):
     """The FPGA cycle-level simulation reached an inconsistent state."""
 

@@ -1,0 +1,130 @@
+"""Warm per-geometry scheduler cache.
+
+Scheduler construction is not free: a :class:`~repro.core.qrm.
+QrmScheduler` derives four :class:`~repro.lattice.geometry.
+QuadrantFrame` affine coefficient sets, and its batch engine
+additionally owns a :class:`~repro.core.passes.MoveInterner` whose
+interned shift/tag tables only pay off when they survive across calls.
+The service therefore keys live scheduler instances by the full
+scheduling identity — geometry extents, algorithm name, parameter
+overrides — in a small LRU, so steady-state requests for the hot
+geometries never re-derive any of it.
+
+:class:`SchedulerKey` is that identity as a hashable value object; it
+doubles as the request vocabulary (clients ship its payload dict next
+to the occupancy grid) and as the micro-batcher's grouping key — two
+requests share a ``schedule_batch`` call exactly when their keys match.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Mapping, NamedTuple
+
+from repro.errors import ConfigurationError
+
+
+class SchedulerKey(NamedTuple):
+    """Hashable identity of one scheduler configuration.
+
+    ``geometry`` is ``(width, height, target_width, target_height)``;
+    ``params`` and ``qrm`` are sorted item tuples (or None) so the key
+    hashes while round-tripping to plain dicts for the wire.
+    """
+
+    geometry: tuple[int, int, int, int]
+    algorithm: str = "qrm"
+    params: tuple[tuple[str, Any], ...] = ()
+    qrm: tuple[tuple[str, Any], ...] | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "SchedulerKey":
+        """Build the key from a wire request dict."""
+        try:
+            geometry = tuple(int(v) for v in payload["geometry"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                "a schedule request needs a 4-tuple 'geometry'"
+            ) from exc
+        if len(geometry) != 4:
+            raise ConfigurationError(
+                f"geometry must be (width, height, target_width, "
+                f"target_height), got {len(geometry)} values"
+            )
+        params = payload.get("params") or {}
+        qrm = payload.get("qrm")
+        return cls(
+            geometry=geometry,
+            algorithm=str(payload.get("algorithm", "qrm")),
+            params=tuple(sorted(params.items())),
+            qrm=tuple(sorted(qrm.items())) if qrm is not None else None,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        """The wire request dict (inverse of :meth:`from_payload`)."""
+        return {
+            "geometry": self.geometry,
+            "algorithm": self.algorithm,
+            "params": dict(self.params),
+            "qrm": dict(self.qrm) if self.qrm is not None else None,
+        }
+
+
+def resolve_scheduler(key: SchedulerKey):
+    """Construct the scheduler a key names (the cache's factory)."""
+    from repro.baselines.base import get_algorithm
+    from repro.lattice.geometry import ArrayGeometry
+
+    geometry = ArrayGeometry(*key.geometry)
+    if key.qrm is not None:
+        from repro.campaign.spec import QrmSpec
+        from repro.core.qrm import QrmScheduler
+
+        return QrmScheduler(geometry, QrmSpec.from_dict(dict(key.qrm)).to_params())
+    try:
+        return get_algorithm(key.algorithm, geometry, **dict(key.params))
+    except KeyError as exc:
+        raise ConfigurationError(str(exc)) from exc
+
+
+class SchedulerCache:
+    """LRU of live scheduler instances keyed by :class:`SchedulerKey`."""
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ConfigurationError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[SchedulerKey, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: SchedulerKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: SchedulerKey):
+        """The scheduler for ``key``, constructing and evicting as needed."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = resolve_scheduler(key)
+        self._entries[key] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

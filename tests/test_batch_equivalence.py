@@ -153,6 +153,73 @@ class TestScheduleBatchDispatch:
             assert_results_identical(ours, want)
 
 
+class _FlakyScheduler:
+    """Loop-fallback algorithm that detonates on one call (by position).
+
+    No ``schedule_batch`` attribute, so :func:`schedule_batch` takes the
+    fallback loop; the inner Tetris scheduler does real work for the
+    non-poisoned calls so sibling results can be checked bit-for-bit.
+    """
+
+    name = "flaky"
+
+    def __init__(self, geometry, poison_index):
+        self.inner = get_algorithm("tetris", geometry)
+        self.poison_index = poison_index
+        self.calls = 0
+
+    def schedule(self, array):
+        index = self.calls
+        self.calls += 1
+        if index == self.poison_index:
+            raise RuntimeError("mid-analysis explosion")
+        return self.inner.schedule(array)
+
+
+class TestFallbackFailureIsolation:
+    """One poisoned trial in a fallback batch must not take down the rest."""
+
+    def _arrays(self, geometry, count=5):
+        return [load_uniform(geometry, 0.5, rng=seed) for seed in range(count)]
+
+    def test_error_names_the_failing_trial(self):
+        geometry = ArrayGeometry.square(10, 6)
+        from repro.errors import ExecutionError
+
+        algorithm = _FlakyScheduler(geometry, poison_index=2)
+        with pytest.raises(
+            ExecutionError, match=r"trial 2 of 5.*'flaky'.*RuntimeError"
+        ) as excinfo:
+            schedule_batch(algorithm, self._arrays(geometry))
+        # The original exception stays chained for debuggers.
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_siblings_before_the_failure_are_not_corrupted(self):
+        geometry = ArrayGeometry.square(10, 6)
+        from repro.errors import ExecutionError
+
+        arrays = self._arrays(geometry)
+        algorithm = _FlakyScheduler(geometry, poison_index=3)
+        with pytest.raises(ExecutionError):
+            schedule_batch(algorithm, arrays)
+        # The failure poisoned exactly one call: rerunning the surviving
+        # arrays through the same instance yields results bit-identical
+        # to a fresh scheduler — no state was corrupted mid-batch.
+        survivors = arrays[:3] + arrays[4:]
+        rerun = schedule_batch(algorithm, survivors)
+        fresh = get_algorithm("tetris", geometry)
+        for ours, array in zip(rerun, survivors):
+            assert_results_identical(ours, fresh.schedule(array))
+
+    def test_clean_batch_is_unaffected_by_the_wrapping(self):
+        geometry = ArrayGeometry.square(10, 6)
+        arrays = self._arrays(geometry, count=3)
+        algorithm = _FlakyScheduler(geometry, poison_index=99)
+        fresh = get_algorithm("tetris", geometry)
+        for ours, array in zip(schedule_batch(algorithm, arrays), arrays):
+            assert_results_identical(ours, fresh.schedule(array))
+
+
 class TestRegistryRedesign:
     def test_defaults_resolve(self):
         assert resolve_algorithms() == DEFAULT_ALGORITHMS

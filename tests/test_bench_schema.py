@@ -38,9 +38,26 @@ def test_committed_bench_has_all_component_speedups(committed_payload):
     assert set(components) == set(COMPONENT_NAMES)
     assert {"mta1", "guarded_drain", "batched_qrm"} <= set(components)
     for name, block in components.items():
-        if name == "batched_qrm":
-            continue  # pinned separately below — different block shape
+        if name in ("batched_qrm", "service_latency"):
+            continue  # pinned separately below — different block shapes
         assert block["speedup_vs_reference"] > 1.0
+
+
+def test_committed_bench_service_latency_wins_at_high_concurrency(
+    committed_payload,
+):
+    # The service's acceptance bar: micro-batching beats batching-off on
+    # amortised per-request latency at concurrency 16 on the 64x64
+    # headline case (pooled best-of minima on both sides).
+    block = committed_payload["component_speedups"]["service_latency"]
+    assert block["size"] == 64
+    by_clients = {entry["clients"]: entry for entry in block["concurrency"]}
+    assert 16 in by_clients
+    assert by_clients[16]["speedup_batched"] > 1.0
+    for entry in block["concurrency"]:
+        for mode in ("unbatched", "batched"):
+            assert entry[mode]["p50_ms"] <= entry[mode]["p99_ms"]
+            assert entry[mode]["amortized_ms"] > 0
 
 
 def test_committed_bench_batched_qrm_hits_the_speedup_bar(committed_payload):

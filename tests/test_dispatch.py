@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import io
+import struct
 
 import pytest
 
@@ -17,10 +18,14 @@ from repro.campaign import (
     run_trial,
 )
 from repro.campaign.protocol import (
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
     function_path,
     read_frame,
+    read_handshake,
     resolve_function,
     write_frame,
+    write_handshake,
 )
 from repro.campaign.worker import serve
 from repro.errors import ConfigurationError, ExecutionError
@@ -66,10 +71,54 @@ class TestProtocol:
         with pytest.raises(ConfigurationError):
             resolve_function("math:pi")  # not callable
 
+    def test_oversized_frame_header_rejected_before_allocation(self):
+        # A forged 2 GiB length must raise, not attempt the allocation.
+        stream = io.BytesIO(struct.pack(">I", 1 << 31))
+        with pytest.raises(ConfigurationError, match="limit"):
+            read_frame(stream)
+        # The guard is tunable: the same frame passes a larger budget...
+        payload = io.BytesIO()
+        write_frame(payload, b"x" * 64)
+        with pytest.raises(ConfigurationError, match="limit"):
+            read_frame(io.BytesIO(payload.getvalue()), max_bytes=16)
+        assert read_frame(io.BytesIO(payload.getvalue())) == b"x" * 64
+
+    def test_handshake_round_trip(self):
+        stream = io.BytesIO()
+        write_handshake(stream, {"fn": "builtins:abs"})
+        write_frame(stream, (0, -3))
+        stream.seek(0)
+        assert read_handshake(stream) == {"fn": "builtins:abs"}
+        assert read_frame(stream) == (0, -3)
+
+    def test_handshake_rejects_wrong_magic(self):
+        # A text-protocol peer (e.g. HTTP) can never start with the
+        # magic byte; the failure must be a clear ConfigurationError.
+        stream = io.BytesIO(b"GET / HTTP/1.1\r\n")
+        with pytest.raises(ConfigurationError, match="magic"):
+            read_handshake(stream)
+
+    def test_handshake_rejects_unknown_version(self):
+        stream = io.BytesIO()
+        write_handshake(stream, {"fn": "builtins:abs"})
+        forged = bytearray(stream.getvalue())
+        assert forged[1] == PROTOCOL_VERSION
+        forged[1] = PROTOCOL_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            read_handshake(io.BytesIO(bytes(forged)))
+        assert forged[0] == PROTOCOL_MAGIC
+
+    def test_handshake_clean_eof_and_truncation(self):
+        assert read_handshake(io.BytesIO()) is None
+        with pytest.raises(EOFError):
+            read_handshake(io.BytesIO(bytes([PROTOCOL_MAGIC])))
+
 
 class TestWorkerLoop:
-    def _serve(self, *frames):
+    def _serve(self, handshake, *frames):
         stdin = io.BytesIO()
+        if handshake is not None:
+            write_handshake(stdin, handshake)
         for frame in frames:
             write_frame(stdin, frame)
         stdin.seek(0)
@@ -95,9 +144,13 @@ class TestWorkerLoop:
         assert results[1] == ("ok", 1, 2)
 
     def test_empty_session(self):
-        served, results = self._serve()
+        served, results = self._serve(None)
         assert served == 0
         assert results == []
+
+    def test_garbage_handshake_raises(self):
+        with pytest.raises(ConfigurationError, match="magic"):
+            serve(io.BytesIO(b"\x00garbage"), io.BytesIO())
 
 
 def trial_items(n_seeds: int = 4) -> list[TrialSpec]:
