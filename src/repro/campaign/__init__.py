@@ -3,8 +3,9 @@
 Declares Monte-Carlo scenario grids (array size x fill x algorithm x
 loss model), executes every (cell, seed) trial exactly once with
 deterministic ``SeedSequence``-spawned RNG streams — serially, over a
-process pool, through the asyncio executor, or across worker processes
-via the dispatch skeleton — caches per-trial results on disk, records
+process pool, through the asyncio executor, or across local/remote
+worker processes via the fault-tolerant dispatch fabric — caches
+per-trial results on disk, records
 resumable JSONL run journals, and aggregates into the ``analysis``
 table outputs.  See README.md ("Campaign engine") for the spec format,
 the journal format, and the CLI.
@@ -14,8 +15,10 @@ from repro.campaign.cache import TrialCache, default_cache_dir
 from repro.campaign.dispatch import (
     DistributedExecutor,
     SubprocessWorkerTransport,
+    TcpWorkerTransport,
     WorkerSpec,
     WorkerTransport,
+    parse_workers,
 )
 from repro.campaign.engine import (
     CampaignResult,
@@ -88,6 +91,7 @@ __all__ = [
     "ScenarioCell",
     "SerialExecutor",
     "SubprocessWorkerTransport",
+    "TcpWorkerTransport",
     "TrialCache",
     "TrialFailure",
     "TrialResult",
@@ -99,6 +103,7 @@ __all__ = [
     "default_cache_dir",
     "grid_spec",
     "make_executor",
+    "parse_workers",
     "read_journal",
     "run_campaign",
     "run_trial",

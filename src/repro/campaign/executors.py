@@ -32,7 +32,7 @@ from repro.errors import ConfigurationError
 T = TypeVar("T")
 
 #: Executor kinds accepted by :func:`make_executor` and the CLI.
-EXECUTOR_KINDS = ("serial", "process", "async", "service")
+EXECUTOR_KINDS = ("serial", "process", "async", "service", "distributed")
 
 
 class CampaignExecutor(Protocol):
@@ -206,7 +206,7 @@ class AsyncExecutor:
 
 
 def make_executor(
-    workers: int | None,
+    workers: int | str | None,
     chunksize: int = 1,
     kind: str = "process",
     service_addr: str | tuple[str, int] | None = None,
@@ -219,11 +219,28 @@ def make_executor(
     :class:`AsyncExecutor`, whose worker count defaults to the CPU
     count when ``workers`` is None; ``"service"`` runs trials as
     clients of a scheduling server (``repro serve``) and requires
-    ``service_addr``.
+    ``service_addr``; ``"distributed"`` fans trials out across worker
+    endpoints — ``workers`` is then ``"host:port[,host:port...]"``
+    naming running ``repro worker --listen`` daemons, or a count of
+    local subprocess workers to launch.
     """
     if kind not in EXECUTOR_KINDS:
         raise ConfigurationError(
             f"unknown executor kind '{kind}'; choose from {EXECUTOR_KINDS}"
+        )
+    if kind == "distributed":
+        if service_addr is not None:
+            raise ConfigurationError(
+                "--service-addr only applies to the service executor, "
+                "not 'distributed'"
+            )
+        from repro.campaign.dispatch import DistributedExecutor, parse_workers
+
+        return DistributedExecutor(workers=parse_workers(workers))
+    if isinstance(workers, str):
+        raise ConfigurationError(
+            f"--workers {workers!r} (worker endpoints) only applies to "
+            f"the distributed executor, not '{kind}'"
         )
     if kind == "service":
         if service_addr is None:

@@ -13,8 +13,10 @@ cannot trigger a multi-gigabyte allocation.
 
 For the worker protocol the handshake payload names the work function
 as a ``"module:qualname"`` import path; work frames are
-``(index, item)``; result frames are ``("ok", index, result)`` or
-``("error", index, message)``.  The scheduling service
+``(index, item)``; liveness probes are ``("ping", token)`` answered by
+``("pong", token, None)``; result frames are ``("ok", index, result)``
+or ``("error", index, message)`` where the message carries a traceback
+tail (:func:`repro.errors.format_error`).  The scheduling service
 (:mod:`repro.service`) speaks the same frames asynchronously with its
 own payload vocabulary.
 
@@ -114,6 +116,26 @@ def read_handshake(stream: BinaryIO, max_bytes: int = MAX_FRAME_BYTES) -> Any:
             f"(this side speaks {PROTOCOL_VERSION})"
         )
     return read_frame(stream, max_bytes=max_bytes)
+
+
+def parse_hostport(text: str) -> tuple[str, int]:
+    """Parse ``"host:port"`` into its parts (shared by worker and CLI).
+
+    The split is on the *last* colon, so bracketless IPv6 literals like
+    ``::1:7500`` parse as ``("::1", 7500)``.
+    """
+    host, sep, port_text = text.strip().rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(f"expected HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"non-numeric port {port_text!r} in {text!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ConfigurationError(f"port {port} out of range in {text!r}")
+    return host, port
 
 
 def resolve_function(path: str) -> Callable:

@@ -1,15 +1,30 @@
-"""Subprocess worker endpoint for distributed trial dispatch.
+"""Worker endpoint for distributed trial dispatch.
 
-``python -m repro.campaign.worker`` speaks the length-prefixed pickle
-frame protocol of :mod:`repro.campaign.protocol` over stdin/stdout:
+``python -m repro.campaign.worker`` (or ``repro worker``) speaks the
+length-prefixed pickle frame protocol of :mod:`repro.campaign.protocol`
+— over stdin/stdout by default, or as a TCP daemon with ``--listen
+HOST:PORT`` (what ``repro campaign --executor distributed`` dials).
 
-* the stream opens with the magic/version handshake whose payload names
-  the work function as an import path (``"module:qualname"``, e.g.
-  ``"repro.campaign.trial:run_trial"``);
-* every following inbound frame is one ``(index, item)`` work unit;
-* every outbound frame is ``("ok", index, result)`` or
-  ``("error", index, message)``;
-* EOF on stdin ends the worker.
+Each connection (or the stdio stream):
+
+* opens with the magic/version handshake whose payload names the work
+  function as an import path (``"module:qualname"``, e.g.
+  ``"repro.campaign.trial:run_trial"``).  Resolution is per-connection,
+  so one daemon serves campaigns with different work functions back to
+  back;
+* every following inbound frame is one ``(index, item)`` work unit or a
+  ``("ping", token)`` liveness probe;
+* outbound frames are ``("ok", index, result)``, ``("error", index,
+  message)`` — the message carries a traceback tail so remote failures
+  stay debuggable — or ``("pong", token, None)``;
+* EOF on the stream ends the session; ``--listen`` mode then accepts
+  the next connection (connections are served sequentially — run one
+  daemon per slot for parallelism on one host).
+
+Pings are answered from a reader thread *while a work unit computes*,
+which is what lets the dispatch layer distinguish a busy worker (pongs
+keep arriving) from a dead or unreachable one (silence past the
+deadline).
 
 The worker never lets user code write to the frame stream: ``sys.stdout``
 is rebound to stderr while serving, so a chatty trial function cannot
@@ -18,44 +33,180 @@ corrupt the protocol.  :mod:`repro.campaign.dispatch` is the client side.
 
 from __future__ import annotations
 
+import argparse
 import contextlib
+import queue
+import socket
 import sys
-from typing import BinaryIO
+import threading
+from typing import BinaryIO, Callable
 
 from repro.campaign.protocol import (
+    parse_hostport,
     read_frame,
     read_handshake,
     resolve_function,
     write_frame,
 )
+from repro.errors import ConfigurationError, format_error
 
 
 def serve(stdin: BinaryIO, stdout: BinaryIO) -> int:
-    """Run the worker loop until EOF; returns the number of work units."""
+    """Run one worker session until EOF; returns the number of work units.
+
+    A reader thread pulls frames off ``stdin`` and answers pings
+    immediately (under a write lock shared with the compute loop), so
+    liveness probes are served even while a unit is mid-computation.
+    Work units execute in the calling thread, in arrival order.
+    """
     handshake = read_handshake(stdin)
     if handshake is None:
         return 0
     fn = resolve_function(handshake["fn"])
+    write_lock = threading.Lock()
+    work: queue.SimpleQueue = queue.SimpleQueue()
+    reader_error: list[BaseException] = []
+
+    def read_loop() -> None:
+        try:
+            while True:
+                frame = read_frame(stdin)
+                if frame is None:
+                    return
+                if isinstance(frame, tuple) and frame and frame[0] == "ping":
+                    with write_lock:
+                        write_frame(stdout, ("pong", frame[1], None))
+                    continue
+                work.put(frame)
+        except BaseException as exc:  # re-raised on the serving thread
+            reader_error.append(exc)
+        finally:
+            work.put(None)
+
+    reader = threading.Thread(target=read_loop, name="worker-reader", daemon=True)
+    reader.start()
     served = 0
     while True:
-        frame = read_frame(stdin)
-        if frame is None:
-            return served
-        index, item = frame
+        unit = work.get()
+        if unit is None:
+            break
+        index, item = unit
         try:
             result = fn(item)
         except Exception as exc:  # forwarded, not fatal to the worker
-            write_frame(stdout, ("error", index, f"{type(exc).__name__}: {exc}"))
+            with write_lock:
+                write_frame(stdout, ("error", index, format_error(exc)))
         else:
-            write_frame(stdout, ("ok", index, result))
+            with write_lock:
+                write_frame(stdout, ("ok", index, result))
         served += 1
+    reader.join()
+    if reader_error:
+        raise reader_error[0]
+    return served
 
 
-def main() -> int:
-    stdout = sys.stdout.buffer
-    with contextlib.redirect_stdout(sys.stderr):
-        serve(sys.stdin.buffer, stdout)
+def serve_connections(
+    listener: socket.socket,
+    max_connections: int | None = None,
+    log: Callable[[str], None] | None = None,
+) -> int:
+    """Accept connections sequentially, serving each to EOF.
+
+    A connection that fails mid-session (garbage handshake, truncated
+    stream, reset) is logged and dropped; the daemon stays up for the
+    next one.  Returns the number of connections served (bounded by
+    ``max_connections`` when given — mainly for tests).
+    """
+    connections = 0
+    while max_connections is None or connections < max_connections:
+        try:
+            conn, peer = listener.accept()
+        except OSError:
+            break
+        with conn:
+            stdin = conn.makefile("rb")
+            stdout = conn.makefile("wb")
+            try:
+                units = serve(stdin, stdout)
+                if log is not None:
+                    log(f"served {units} units for {peer[0]}:{peer[1]}")
+            except (ConfigurationError, EOFError, OSError, ValueError) as exc:
+                if log is not None:
+                    log(f"connection from {peer[0]}:{peer[1]} failed: {exc}")
+            finally:
+                for stream in (stdin, stdout):
+                    try:
+                        stream.close()
+                    except OSError:
+                        pass
+        connections += 1
+    return connections
+
+
+def run_worker(
+    listen: str | None = None,
+    max_connections: int | None = None,
+    quiet: bool = False,
+) -> int:
+    """Entry point shared by ``python -m`` and the ``repro worker`` CLI."""
+    log = (
+        None
+        if quiet
+        else lambda message: print(f"[worker] {message}", file=sys.stderr, flush=True)
+    )
+    if listen is None:
+        stdout = sys.stdout.buffer
+        with contextlib.redirect_stdout(sys.stderr):
+            serve(sys.stdin.buffer, stdout)
+        return 0
+    host, port = parse_hostport(listen)
+    listener = socket.create_server((host, port))
+    bound_host, bound_port = listener.getsockname()[:2]
+    if log is not None:
+        log(f"listening on {bound_host}:{bound_port}")
+    try:
+        with contextlib.redirect_stdout(sys.stderr):
+            serve_connections(listener, max_connections=max_connections, log=log)
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        listener.close()
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description=(
+            "Serve distributed campaign trials: over stdin/stdout by "
+            "default, or as a TCP daemon with --listen HOST:PORT."
+        ),
+    )
+    parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve TCP connections on this address instead of "
+        "stdin/stdout (port 0 picks a free port; the bound "
+        "address is announced on stderr)",
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N connections (default: serve forever)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress stderr status lines"
+    )
+    args = parser.parse_args(argv)
+    return run_worker(
+        listen=args.listen,
+        max_connections=args.max_connections,
+        quiet=args.quiet,
+    )
 
 
 if __name__ == "__main__":

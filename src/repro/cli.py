@@ -12,6 +12,9 @@ Examples::
     repro campaign --seeds 100 --workers 4 --executor async \\
         --journal run.jsonl
     repro campaign --resume run.jsonl
+    repro worker --listen 0.0.0.0:7501
+    repro campaign --executor distributed \\
+        --workers host-a:7501,host-b:7501 --journal run.jsonl
     repro resources --size 90
     repro trace --size 10
     repro algorithms
@@ -270,6 +273,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.campaign.worker import run_worker
+
+    return run_worker(
+        listen=args.listen,
+        max_connections=args.max_connections,
+        quiet=args.quiet,
+    )
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -352,11 +365,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             [observer, InterruptingObserver(args.interrupt_after)]
         )
 
+    workers = args.workers
+    if workers is not None and args.executor != "distributed":
+        try:
+            workers = int(workers)
+        except ValueError:
+            print(
+                f"--workers {workers!r} names worker endpoints, which only "
+                f"--executor distributed accepts; other executors take a "
+                f"process count",
+                file=sys.stderr,
+            )
+            return 2
+
     cache = None if args.no_cache else TrialCache(args.cache_dir)
     campaign = ExperimentCampaign(
         spec,
         executor=make_executor(
-            args.workers,
+            workers,
             args.chunksize,
             kind=args.executor,
             service_addr=args.service_addr,
@@ -533,20 +559,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--workers",
-        type=int,
+        type=str,
         default=None,
         help="trial-execution processes (default: in-process for "
-        "--executor process, the CPU count for --executor async)",
+        "--executor process, the CPU count for --executor async); "
+        "for --executor distributed, either a count of local "
+        "subprocess workers or host:port[,host:port...] naming "
+        "running 'repro worker --listen' daemons",
     )
     p.add_argument(
         "--executor",
-        choices=["serial", "process", "async", "service"],
+        choices=["serial", "process", "async", "service", "distributed"],
         default="process",
         help="execution backend: 'process' (default; serial "
         "when --workers <= 1), 'async' (asyncio-driven "
-        "pool with bounded in-flight trials), 'serial', or "
+        "pool with bounded in-flight trials), 'serial', "
         "'service' (schedule through a running repro serve "
-        "instance; needs --service-addr)",
+        "instance; needs --service-addr), or 'distributed' "
+        "(fan trials out across worker daemons with "
+        "health-checks and re-dispatch; see --workers)",
     )
     p.add_argument(
         "--service-addr",
@@ -734,6 +765,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--quiet", action="store_true", help="suppress startup banner")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a campaign worker (stdio or TCP daemon)",
+        description=(
+            "Serve distributed campaign trials.  By default speaks the "
+            "frame protocol over stdin/stdout (what the subprocess "
+            "transport launches); with --listen HOST:PORT it runs as a "
+            "TCP daemon serving sequential connections from "
+            "'repro campaign --executor distributed'."
+        ),
+    )
+    p.add_argument(
+        "--listen",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="serve TCP connections on this address (port 0 picks a "
+        "free port; the bound address is announced on stderr)",
+    )
+    p.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N connections (default: serve forever)",
+    )
+    p.add_argument("--quiet", action="store_true", help="suppress status lines")
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("resources", help="FPGA resource estimate")
     p.add_argument("--size", type=int, default=50)

@@ -3,9 +3,35 @@
 Every error raised deliberately by the library derives from
 :class:`ReproError`, so callers can catch one base class at an API
 boundary while tests can assert on the precise subclass.
+
+:func:`format_error` is the shared renderer for exceptions that cross a
+process or wire boundary as plain strings (worker error frames, service
+error frames): ``"Type: message"`` plus a bounded traceback tail, so a
+remote failure stays debuggable without shipping unbounded text.
 """
 
 from __future__ import annotations
+
+import traceback
+
+
+def format_error(exc: BaseException, tb_limit: int = 20) -> str:
+    """Render ``exc`` as ``"Type: message"`` plus a traceback tail.
+
+    ``tb_limit`` bounds the number of traceback lines kept (the *last*
+    lines — the frames nearest the failure); earlier lines are elided
+    with a marker.  An exception with no traceback renders as just the
+    head line.
+    """
+    head = f"{type(exc).__name__}: {exc}"
+    if exc.__traceback__ is None:
+        return head
+    text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    lines = text.rstrip("\n").splitlines()
+    if len(lines) > tb_limit:
+        elided = len(lines) - tb_limit
+        lines = [f"... ({elided} traceback lines elided)"] + lines[-tb_limit:]
+    return head + "\n" + "\n".join(lines)
 
 
 class ReproError(Exception):

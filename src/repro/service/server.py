@@ -37,7 +37,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, format_error
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import ArrayGeometry
 from repro.service.cache import SchedulerCache, SchedulerKey
@@ -392,9 +392,10 @@ class SchedulingService:
         for request, result in zip(chunk, results):
             if isinstance(result, Exception):
                 self.stats["errors"] += 1
+                # Mirror the worker protocol: the message carries a
+                # traceback tail so remote failures stay debuggable.
                 await request.connection.send_error(
-                    request.request_id,
-                    f"{type(result).__name__}: {result}",
+                    request.request_id, format_error(result)
                 )
             else:
                 # Pass outcomes are analysis-internal debris (excluded

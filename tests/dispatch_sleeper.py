@@ -1,0 +1,13 @@
+"""Import-light work functions for dispatch keep-alive tests.
+
+Lives apart from test_dispatch so a worker resolving these does not pay
+for importing pytest/hypothesis — the ping-deadline tests need function
+resolution to be fast relative to the liveness timeout.
+"""
+
+import time
+
+
+def sleepy_square(value: int) -> int:
+    time.sleep(2.0)
+    return value * value

@@ -176,6 +176,68 @@ class TestCommands:
         capsys.readouterr()
         assert serial_csv.read_bytes() == fanned_csv.read_bytes()
 
+    def test_campaign_distributed_executor_matches_serial(self, capsys, tmp_path):
+        base = [
+            "campaign",
+            "--name",
+            "dist-cli",
+            "--algorithms",
+            "qrm",
+            "--sizes",
+            "10",
+            "--fills",
+            "0.5",
+            "--seeds",
+            "3",
+            "--no-cache",
+            "--quiet",
+        ]
+        serial_csv = tmp_path / "serial.csv"
+        fanned_csv = tmp_path / "distributed.csv"
+        assert main(base + ["--csv", str(serial_csv)]) == 0
+        assert (
+            main(
+                base
+                + [
+                    "--executor",
+                    "distributed",
+                    "--workers",
+                    "2",
+                    "--csv",
+                    str(fanned_csv),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert serial_csv.read_bytes() == fanned_csv.read_bytes()
+
+    def test_campaign_worker_endpoints_need_distributed_executor(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--algorithms",
+                    "qrm",
+                    "--sizes",
+                    "10",
+                    "--workers",
+                    "gpu-01:7501",
+                    "--no-cache",
+                    "--quiet",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "distributed" in err
+
+    def test_worker_listen_banner_and_exit(self, capsys):
+        argv = ["worker", "--listen", "127.0.0.1:0", "--max-connections", "0"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "listening on 127.0.0.1:" in err
+
     def test_campaign_interrupt_then_resume(self, capsys, tmp_path):
         base = [
             "campaign",

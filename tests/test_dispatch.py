@@ -1,26 +1,43 @@
-"""Tests for the multi-host dispatch skeleton and its worker protocol."""
+"""Tests for the distributed dispatch fabric and its worker protocol."""
 
 from __future__ import annotations
 
+import contextlib
 import io
+import os
+import queue
+import re
 import struct
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+import dispatch_sleeper
+
+import repro
 from repro.campaign import (
     CampaignSpec,
     DistributedExecutor,
     ExperimentCampaign,
+    RunJournal,
     ScenarioCell,
     SubprocessWorkerTransport,
+    TcpWorkerTransport,
     TrialSpec,
     WorkerSpec,
+    parse_workers,
+    read_journal,
     run_trial,
 )
 from repro.campaign.protocol import (
     PROTOCOL_MAGIC,
     PROTOCOL_VERSION,
     function_path,
+    parse_hostport,
     read_frame,
     read_handshake,
     resolve_function,
@@ -29,6 +46,61 @@ from repro.campaign.protocol import (
 )
 from repro.campaign.worker import serve
 from repro.errors import ConfigurationError, ExecutionError
+
+TESTS_DIR = str(Path(__file__).resolve().parent)
+
+
+# Module-level work functions: they cross the transport as import paths
+# ("test_dispatch:name"), so worker processes must be launched with this
+# directory on PYTHONPATH (see `child_pythonpath` / `worker_daemon`).
+
+
+def square(value: int) -> int:
+    return value * value
+
+
+def crash_once(item):
+    """Kill this worker process the first time the marked item runs."""
+    flag_path, value, victim = item
+    if value == victim and not Path(flag_path).exists():
+        Path(flag_path).touch()
+        os._exit(1)
+    return value * value
+
+
+def child_pythonpath() -> str:
+    """PYTHONPATH putting both the package and this test module in reach."""
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    return os.pathsep.join([package_root, TESTS_DIR])
+
+
+@contextlib.contextmanager
+def worker_daemon(max_connections: int | None = None):
+    """A real ``repro worker --listen`` daemon on a free port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = child_pythonpath()
+    command = [
+        sys.executable,
+        "-m",
+        "repro.campaign.worker",
+        "--listen",
+        "127.0.0.1:0",
+    ]
+    if max_connections is not None:
+        command += ["--max-connections", str(max_connections)]
+    process = subprocess.Popen(
+        command, stderr=subprocess.PIPE, text=True, env=env
+    )
+    try:
+        banner = process.stderr.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+        assert match, f"no listen banner in {banner!r}"
+        yield process, WorkerSpec(host=match.group(1), port=int(match.group(2)))
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.stderr.close()
+        process.wait()
 
 
 class TestProtocol:
@@ -113,6 +185,14 @@ class TestProtocol:
         with pytest.raises(EOFError):
             read_handshake(io.BytesIO(bytes([PROTOCOL_MAGIC])))
 
+    def test_parse_hostport(self):
+        assert parse_hostport("gpu-01:7501") == ("gpu-01", 7501)
+        assert parse_hostport(" 127.0.0.1:80 ") == ("127.0.0.1", 80)
+        assert parse_hostport("::1:7500") == ("::1", 7500)
+        for bad in ("nohost", ":7501", "host:", "host:abc", "host:70000"):
+            with pytest.raises(ConfigurationError):
+                parse_hostport(bad)
+
 
 class TestWorkerLoop:
     def _serve(self, handshake, *frames):
@@ -143,6 +223,22 @@ class TestWorkerLoop:
         assert "TypeError" in results[0][2]
         assert results[1] == ("ok", 1, 2)
 
+    def test_error_frames_carry_a_traceback_tail(self):
+        _, results = self._serve({"fn": "builtins:len"}, (0, 123))
+        status, _, message = results[0]
+        assert status == "error"
+        assert message.startswith("TypeError: ")
+        assert "Traceback (most recent call last)" in message
+
+    def test_pings_answered_and_not_counted_as_work(self):
+        served, results = self._serve(
+            {"fn": "builtins:abs"}, ("ping", 7), (0, -3), ("ping", 8)
+        )
+        assert served == 1
+        assert ("ok", 0, 3) in results
+        assert ("pong", 7, None) in results
+        assert ("pong", 8, None) in results
+
     def test_empty_session(self):
         served, results = self._serve(None)
         assert served == 0
@@ -159,6 +255,68 @@ def trial_items(n_seeds: int = 4) -> list[TrialSpec]:
         TrialSpec(cell=cell, seed_index=index, master_seed=7)
         for index in range(n_seeds)
     ]
+
+
+class TestWorkerSpec:
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkerSpec(slots=0)
+        with pytest.raises(ConfigurationError):
+            WorkerSpec(port=0)
+        with pytest.raises(ConfigurationError):
+            SubprocessWorkerTransport(WorkerSpec(host="gpu-farm-01"))
+        with pytest.raises(ConfigurationError, match="port"):
+            TcpWorkerTransport(WorkerSpec(host="gpu-farm-01"))
+        assert not WorkerSpec(host="gpu-farm-01").local
+
+    def test_parse(self):
+        spec = WorkerSpec.parse("gpu-01:7501")
+        assert (spec.host, spec.port, spec.slots) == ("gpu-01", 7501, 1)
+
+    def test_parse_workers(self):
+        assert parse_workers(None) == (WorkerSpec(),)
+        assert parse_workers(3) == (WorkerSpec(slots=3),)
+        assert parse_workers("2") == (WorkerSpec(slots=2),)
+        specs = parse_workers("a:1, b:2,")
+        assert [(spec.host, spec.port) for spec in specs] == [("a", 1), ("b", 2)]
+        with pytest.raises(ConfigurationError):
+            parse_workers("  ")
+        with pytest.raises(ConfigurationError):
+            parse_workers("host:bad")
+
+
+class TestSubprocessTransportClose:
+    class _Stream:
+        def __init__(self, fail: bool = False):
+            self.fail = fail
+            self.closed = False
+
+        def close(self):
+            if self.fail:
+                raise OSError("already gone")
+            self.closed = True
+
+    class _Process:
+        def __init__(self, stdin, stdout):
+            self.stdin = stdin
+            self.stdout = stdout
+
+        def wait(self, timeout=None):
+            return 0
+
+    def test_close_is_idempotent_without_start(self):
+        transport = SubprocessWorkerTransport(WorkerSpec())
+        transport.close()
+        transport.close()
+
+    def test_stdin_close_error_does_not_leak_stdout(self):
+        stdin = self._Stream(fail=True)
+        stdout = self._Stream()
+        transport = SubprocessWorkerTransport(WorkerSpec())
+        transport._process = self._Process(stdin, stdout)
+        transport.close()
+        assert stdout.closed, "stdout leaked after stdin.close() raised"
+        assert transport._process is None
 
 
 class TestDistributedExecutor:
@@ -186,19 +344,309 @@ class TestDistributedExecutor:
         executor = DistributedExecutor(workers=[WorkerSpec()])
         assert list(executor.run(run_trial, [])) == []
 
-    def test_remote_error_surfaces(self):
+    def test_remote_error_surfaces_with_traceback(self):
         bad = TrialSpec(
             cell=ScenarioCell(algorithm="no-such-algorithm", size=8),
             seed_index=0,
             master_seed=0,
         )
         executor = DistributedExecutor(workers=[WorkerSpec()])
-        with pytest.raises(ExecutionError, match="remotely"):
+        with pytest.raises(ExecutionError, match="remotely") as excinfo:
             list(executor.run(run_trial, [bad]))
+        assert "Traceback (most recent call last)" in str(excinfo.value)
 
-    def test_spec_validation(self):
+    def test_executor_validation(self):
         with pytest.raises(ConfigurationError):
-            WorkerSpec(slots=0)
+            DistributedExecutor(ping_interval=0)
         with pytest.raises(ConfigurationError):
-            SubprocessWorkerTransport(WorkerSpec(host="gpu-farm-01"))
-        assert not WorkerSpec(host="gpu-farm-01").local
+            DistributedExecutor(ping_timeout=-1)
+        with pytest.raises(ConfigurationError):
+            DistributedExecutor(straggler_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            DistributedExecutor(max_attempts=0)
+
+    def test_no_slots_rejected(self):
+        executor = DistributedExecutor(workers=[])
+        with pytest.raises(ConfigurationError, match="slot"):
+            list(executor.run(run_trial, trial_items(1)))
+
+    def test_worker_killed_mid_run_redispatches(self, tmp_path):
+        # Two local subprocess workers; one self-destructs the first
+        # time it executes the marked unit.  The in-flight unit must be
+        # re-dispatched to the survivor and every result arrive exactly
+        # once, with the correct value.
+        flag = tmp_path / "crashed"
+        spec = WorkerSpec(slots=2, env={"PYTHONPATH": TESTS_DIR})
+        executor = DistributedExecutor(workers=[spec])
+        items = [(str(flag), value, 5) for value in range(12)]
+        results = list(executor.run(crash_once, items))
+        assert flag.exists(), "the crash path never ran"
+        assert sorted(index for index, _ in results) == list(range(12))
+        assert dict(results) == {index: index * index for index in range(12)}
+
+    def test_long_unit_survives_on_pings(self):
+        # The unit takes ~2 s but the silence deadline is 0.8 s: only
+        # the worker's concurrent pong replies keep it alive.  A TCP
+        # daemon (already booted) keeps interpreter start-up out of the
+        # deadline window; the work function lives in an import-light
+        # module so per-connection resolution is instant too.
+        with worker_daemon() as (_, spec):
+            executor = DistributedExecutor(
+                workers=[spec], ping_interval=0.1, ping_timeout=0.8
+            )
+            results = dict(executor.run(dispatch_sleeper.sleepy_square, [7]))
+        assert results == {0: 49}
+
+
+class TestTcpTransport:
+    def test_round_trip_with_pings(self):
+        with worker_daemon(max_connections=1) as (_, spec):
+            transport = TcpWorkerTransport(spec)
+            transport.start("builtins:abs")
+            transport.submit(0, -5)
+            assert transport.next_result() == ("ok", 0, 5)
+            transport.ping(3)
+            assert transport.next_result() == ("pong", 3, None)
+            transport.submit(1, 4)
+            assert transport.next_result() == ("ok", 1, 4)
+            transport.close()
+            transport.close()  # idempotent
+
+    def test_sequential_connections_resolve_functions_independently(self):
+        with worker_daemon(max_connections=2) as (process, spec):
+            first = TcpWorkerTransport(spec)
+            first.start("builtins:abs")
+            first.submit(0, -9)
+            assert first.next_result() == ("ok", 0, 9)
+            first.close()
+            second = TcpWorkerTransport(spec)
+            second.start("test_dispatch:square")
+            second.submit(0, 9)
+            assert second.next_result() == ("ok", 0, 81)
+            second.close()
+            assert process.wait(timeout=10) == 0
+
+    def test_unreachable_worker_fails_clearly(self):
+        transport = TcpWorkerTransport(
+            WorkerSpec(host="127.0.0.1", port=1), connect_timeout=0.5
+        )
+        with pytest.raises(ExecutionError, match="cannot reach"):
+            transport.start("builtins:abs")
+
+    def test_executor_over_two_daemons_matches_serial(self):
+        items = trial_items(6)
+        expected = {index: run_trial(item) for index, item in enumerate(items)}
+        with worker_daemon() as (_, spec_a), worker_daemon() as (_, spec_b):
+            executor = DistributedExecutor(workers=[spec_a, spec_b])
+            assert dict(executor.run(run_trial, items)) == expected
+
+    def test_kill_one_daemon_mid_run_redispatches(self):
+        items = [(None, value, None) for value in range(20)]
+        expected = {index: index * index for index in range(20)}
+        with worker_daemon() as (victim, spec_a), worker_daemon() as (_, spec_b):
+            executor = DistributedExecutor(workers=[spec_a, spec_b])
+            results = {}
+            for count, (index, value) in enumerate(
+                executor.run(crash_once, items)
+            ):
+                results[index] = value
+                if count == 2:
+                    victim.kill()
+            assert results == expected
+
+    def test_campaign_with_journal_shards_into_one_resumable_journal(
+        self, tmp_path
+    ):
+        spec = CampaignSpec(
+            name="dispatch-journal",
+            algorithms=("qrm",),
+            sizes=(8,),
+            fills=(0.5,),
+            n_seeds=6,
+        )
+        serial = ExperimentCampaign(spec).run()
+        journal_path = tmp_path / "distributed.jsonl"
+        with worker_daemon() as (_, spec_a), worker_daemon() as (_, spec_b):
+            journal = RunJournal.fresh(journal_path)
+            distributed = ExperimentCampaign(
+                spec,
+                executor=DistributedExecutor(workers=[spec_a, spec_b]),
+                journal=journal,
+            ).run()
+            journal.close()
+        assert serial.to_csv() == distributed.to_csv()
+        replay = read_journal(journal_path)
+        assert replay.completed
+        assert len(replay.results) == 6
+        # The single coordinator journal is resumable: a re-run replays
+        # every sharded trial without touching an executor.
+        resumed = ExperimentCampaign(
+            spec, journal=RunJournal.resume(journal_path)
+        ).run()
+        assert resumed.journal_replays == 6
+        assert resumed.to_csv() == serial.to_csv()
+
+
+class _ScriptedTransport:
+    """In-memory transport running ``fn`` inline, with scripted failures.
+
+    ``trip(index)`` returning True simulates a worker crash mid-unit:
+    the submit is swallowed and the receiver sees EOF.  ``deaf`` makes
+    the worker accept work but never answer (result or pong) — the
+    ping-deadline path.  ``black_hole`` swallows those unit indices
+    while still answering pings — the straggler path.
+    """
+
+    _DEAD = object()
+
+    def __init__(self, fn, trip=None, deaf=False, black_hole=()):
+        self.fn = fn
+        self.trip = trip or (lambda index: False)
+        self.deaf = deaf
+        self.black_hole = set(black_hole)
+        self.frames: queue.SimpleQueue = queue.SimpleQueue()
+        self.alive = True
+        self.submitted: list[int] = []
+
+    def start(self, fn_path: str) -> None:
+        pass
+
+    def submit(self, index: int, item) -> None:
+        if not self.alive:
+            raise ExecutionError("worker gone")
+        self.submitted.append(index)
+        if self.trip(index):
+            self.alive = False
+            self.frames.put(self._DEAD)
+            return
+        if self.deaf or index in self.black_hole:
+            return
+        self.frames.put(("ok", index, self.fn(item)))
+
+    def ping(self, token: int) -> None:
+        if not self.alive:
+            raise ExecutionError("worker gone")
+        if not self.deaf:
+            self.frames.put(("pong", token, None))
+
+    def next_result(self):
+        frame = self.frames.get()
+        if frame is self._DEAD:
+            raise ExecutionError("worker crashed")
+        return frame
+
+    def close(self) -> None:
+        self.alive = False
+        self.frames.put(self._DEAD)
+
+
+class TestFaultInjection:
+    def test_deaf_worker_hits_ping_deadline_and_unit_redispatches(self):
+        transports = []
+
+        def factory(spec):
+            transport = _ScriptedTransport(square, deaf=not transports)
+            transports.append(transport)
+            return transport
+
+        executor = DistributedExecutor(
+            workers=[WorkerSpec(slots=2)],
+            transport_factory=factory,
+            ping_interval=0.02,
+            ping_timeout=0.1,
+        )
+        items = list(range(6))
+        results = dict(executor.run(square, items))
+        assert results == {index: index * index for index in items}
+        assert all(not transport.alive for transport in transports)
+
+    def test_single_deaf_worker_fails_with_ping_reason(self):
+        executor = DistributedExecutor(
+            workers=[WorkerSpec()],
+            transport_factory=lambda spec: _ScriptedTransport(square, deaf=True),
+            ping_interval=0.02,
+            ping_timeout=0.1,
+        )
+        with pytest.raises(ExecutionError, match="no result or pong"):
+            dict(executor.run(square, [1, 2]))
+
+    def test_repeatedly_fatal_unit_exhausts_attempts(self):
+        # Every worker the poisoned unit lands on dies; after
+        # max_attempts the run must fail rather than spin forever.
+        def factory(spec):
+            return _ScriptedTransport(square, trip=lambda index: index == 1)
+
+        executor = DistributedExecutor(
+            workers=[WorkerSpec(slots=4)],
+            transport_factory=factory,
+            max_attempts=2,
+        )
+        with pytest.raises(ExecutionError, match="giving up|workers died"):
+            dict(executor.run(square, list(range(4))))
+
+    def test_straggler_respawns_to_an_idle_worker(self):
+        transports = []
+
+        def factory(spec):
+            transport = _ScriptedTransport(
+                square, black_hole=() if transports else (0,)
+            )
+            transports.append(transport)
+            return transport
+
+        executor = DistributedExecutor(
+            workers=[WorkerSpec(slots=2)],
+            transport_factory=factory,
+            ping_interval=0.02,
+            straggler_factor=2.0,
+            min_straggler_s=0.05,
+        )
+        items = list(range(8))
+        results = dict(executor.run(square, items))
+        assert results == {index: index * index for index in items}
+        # The swallowed unit 0 was speculatively re-dispatched to the
+        # healthy worker after the median-based threshold expired.
+        assert 0 in transports[1].submitted
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        worker_slots=st.lists(st.integers(1, 2), min_size=1, max_size=3),
+        n_items=st.integers(1, 12),
+        data=st.data(),
+    )
+    def test_kill_one_worker_property(self, worker_slots, n_items, data):
+        """At-most-once completion over worker count × slots × failure index.
+
+        One worker crashes mid-unit at a Hypothesis-chosen index.  With
+        surviving workers the run must complete every unit exactly once
+        with correct values; with none it must fail loudly.
+        """
+        fail_at = data.draw(
+            st.integers(0, n_items - 1), label="failure index"
+        )
+        state = {"tripped": False}
+
+        def trip(index):
+            if index == fail_at and not state["tripped"]:
+                state["tripped"] = True
+                return True
+            return False
+
+        executor = DistributedExecutor(
+            workers=[WorkerSpec(slots=slots) for slots in worker_slots],
+            transport_factory=lambda spec: _ScriptedTransport(square, trip=trip),
+            ping_interval=0.02,
+            ping_timeout=0.5,
+        )
+        items = list(range(n_items))
+        total_slots = min(sum(worker_slots), n_items)
+        if total_slots == 1:
+            with pytest.raises(ExecutionError, match="workers died"):
+                dict(executor.run(square, items))
+            return
+        yielded = list(executor.run(square, items))
+        indices = [index for index, _ in yielded]
+        assert sorted(indices) == items, "lost or duplicated units"
+        assert len(set(indices)) == len(indices)
+        assert dict(yielded) == {index: index * index for index in items}
+        assert state["tripped"], "the scripted crash never fired"
