@@ -4,7 +4,8 @@ Raw wall-clock numbers are machine-dependent, so the gate never compares
 milliseconds across reports.  It compares the *dimensionless speedup
 ratios* — vectorised-vs-reference per component, batched-vs-serial per
 batch size, service-batching-on-vs-off at the highest measured client
-concurrency — which are measured interleaved within one run and
+concurrency, sequential-vs-pipelined for the closed-loop pipeline —
+which are measured interleaved within one run and
 therefore transfer between machines.  A fresh report passes when every
 ratio it shares with the baseline is within ``tolerance`` (default 15%)
 of the baseline's value; blocks present on only one side are skipped,
@@ -117,6 +118,17 @@ def check_perf_regression(
                 f"service_latency@{size} c={clients} speedup_batched",
                 fresh_by_clients[clients]["speedup_batched"],
                 base_by_clients[clients]["speedup_batched"],
+            )
+            continue
+        if name == "pipeline_latency":
+            # Sequential-vs-pipelined wall ratio of the closed loop.  On
+            # a single-core runner it hovers near 1 (Python threads buy
+            # no overlap without idle cores); the gate only catches it
+            # slipping below the committed baseline's ratio.
+            check(
+                f"pipeline_latency@{size} overlap_speedup",
+                fresh_block["overlap_speedup"],
+                base_block["overlap_speedup"],
             )
             continue
         check(

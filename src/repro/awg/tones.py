@@ -3,7 +3,9 @@
 Each axis of the 2-D AOD deflects in proportion to its drive frequency,
 so a lattice row/column index maps linearly onto an RF tone.  Moving the
 tweezer grid by one site means chirping every active tone on the moving
-axis by one ``spacing_mhz`` step.
+axis by one ``spacing_mhz`` step.  All frequencies are in MHz; row
+index 0 maps to ``base_mhz`` and indices increase towards higher
+frequency on both axes.
 """
 
 from __future__ import annotations

@@ -4,6 +4,10 @@ A segment plays a set of simultaneous tones for a fixed duration; each
 tone ramps linearly from a start to an end frequency (a chirp) under a
 linear amplitude envelope.  Phase is integrated exactly so consecutive
 samples are continuous within a segment.
+
+Units: frequencies in MHz, durations in microseconds, sample rates in
+MS/s (so frequency x time products are dimensionless cycles), and
+amplitudes normalised to [0, 1] of full scale.
 """
 
 from __future__ import annotations

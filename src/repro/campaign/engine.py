@@ -58,6 +58,7 @@ METRIC_ORDER = (
     "motion_ms",
     "analysis_ops",
     "skipped_stale",
+    "cycles_used",
 )
 
 

@@ -33,7 +33,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.errors import ConfigurationError
 
 #: Bump to invalidate every cached trial when the metric schema changes.
-TRIAL_SCHEMA_VERSION = 2
+TRIAL_SCHEMA_VERSION = 3
 
 
 def stable_hash(payload: Any) -> str:
@@ -138,6 +138,11 @@ class ScenarioCell:
     non-deterministic and therefore excluded from both the engine's
     determinism guarantee and the on-disk trial cache (timing cells
     always re-execute).
+
+    ``cycles > 1`` turns the trial into a closed-loop run through
+    :mod:`repro.pipeline`: rearrange, apply losses, re-image, repair —
+    up to ``cycles`` camera frames per trial, retiring early once
+    detection sees a defect-free target.
     """
 
     algorithm: str = "qrm"
@@ -148,12 +153,15 @@ class ScenarioCell:
     fpga: bool = False
     timing: bool = False
     qrm: QrmSpec | None = None
+    cycles: int = 1
 
     def __post_init__(self) -> None:
         if self.size <= 0:
             raise ConfigurationError(f"size must be positive, got {self.size}")
         if not 0.0 <= self.fill <= 1.0:
             raise ConfigurationError(f"fill must be in [0, 1], got {self.fill}")
+        if self.cycles < 1:
+            raise ConfigurationError(f"cycles must be >= 1, got {self.cycles}")
         if self.fpga and self.algorithm != "qrm":
             raise ConfigurationError(
                 "the FPGA cycle model only implements the 'qrm' algorithm; "
@@ -183,6 +191,7 @@ class ScenarioCell:
             "fpga": self.fpga,
             "timing": self.timing,
             "qrm": self.qrm.to_dict() if self.qrm is not None else None,
+            "cycles": self.cycles,
         }
 
     @classmethod
@@ -204,6 +213,8 @@ class ScenarioCell:
             parts.append(self.qrm.label())
         if self.loss is not None:
             parts.append("loss")
+        if self.cycles > 1:
+            parts.append(f"cycles={self.cycles}")
         return " ".join(parts)
 
 
@@ -226,6 +237,7 @@ class CampaignSpec:
     master_seed: int = 0
     fpga: bool = False
     timing: bool = False
+    cycles: int = 1
     extra_cells: tuple[ScenarioCell, ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -233,6 +245,8 @@ class CampaignSpec:
             raise ConfigurationError("a campaign needs a non-empty name")
         if self.n_seeds < 0:
             raise ConfigurationError(f"n_seeds must be >= 0, got {self.n_seeds}")
+        if self.cycles < 1:
+            raise ConfigurationError(f"cycles must be >= 1, got {self.cycles}")
 
     def expand(self) -> list[ScenarioCell]:
         """Expand the grid into scenario cells (may be empty)."""
@@ -245,6 +259,7 @@ class CampaignSpec:
                 loss=loss,
                 fpga=self.fpga and algorithm == "qrm",
                 timing=self.timing,
+                cycles=self.cycles,
             )
             for algorithm, size, target, fill, loss in itertools.product(
                 self.algorithms,
@@ -280,6 +295,7 @@ class CampaignSpec:
             "master_seed": self.master_seed,
             "fpga": self.fpga,
             "timing": self.timing,
+            "cycles": self.cycles,
             "extra_cells": [cell.to_dict() for cell in self.extra_cells],
         }
 

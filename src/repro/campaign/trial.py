@@ -153,13 +153,17 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     """Execute one trial and return its metrics.
 
     Deterministic given the trial spec, except for the wall-clock
-    metrics added when ``cell.timing`` is set.
+    metrics added when ``cell.timing`` is set.  Cells with
+    ``cycles > 1`` run the closed-loop pipeline (image -> detect ->
+    schedule -> replay, repeated) instead of one open-loop schedule.
     """
     from repro.lattice.geometry import ArrayGeometry
     from repro.lattice.loading import load_uniform
 
     cell = trial.cell
     geometry = ArrayGeometry.square(cell.size, cell.target)
+    if cell.cycles > 1:
+        return _closed_loop_trial(trial, _resolve_algorithm(cell, geometry))
     load_seed, loss_seed = trial.seed_sequence().spawn(2)
     array = load_uniform(geometry, cell.fill, rng=np.random.default_rng(load_seed))
 
@@ -176,6 +180,75 @@ def run_trial(trial: TrialSpec) -> TrialResult:
             elapsed_us = min(elapsed_us, (time.perf_counter() - start) * 1e6)
 
     return _trial_metrics(trial, array, result, loss_seed, elapsed_us)
+
+
+def _closed_loop_trial(trial: TrialSpec, algorithm) -> TrialResult:
+    """Multi-cycle trial: the pipeline's closed loop, one shot per trial.
+
+    Seed derivation mirrors the single-cycle path's first split — the
+    trial sequence spawns (load, loop) and the loop sequence spawns the
+    flat per-cycle ``[camera, loss, ...]`` streams
+    (:func:`repro.pipeline.stages.spawn_shot_streams` shape).  Count
+    metrics are summed over cycles; state metrics (``target_fill``,
+    ``defect_free``, ``survival``) describe the final truth array.
+    ``motion_ms`` is the summed AWG program duration (the closed loop
+    compiles waveforms, so that is the natural per-cycle motion time).
+    """
+    from repro.lattice.loading import load_uniform
+    from repro.pipeline.stages import PipelineConfig, run_shot
+    from repro.timing.latency import STAGE_SCHEDULE, StageReport
+
+    cell = trial.cell
+    config = PipelineConfig(
+        size=cell.size,
+        target=cell.target,
+        fill=cell.fill,
+        algorithm=cell.algorithm,
+        cycles=cell.cycles,
+        loss=cell.loss.to_model() if cell.loss is not None else None,
+        fpga_timing=cell.fpga,
+    )
+    load_seed, loop_seed = trial.seed_sequence().spawn(2)
+    array = load_uniform(
+        config.geometry(), cell.fill, rng=np.random.default_rng(load_seed)
+    )
+    n_initial = array.n_atoms
+    report = StageReport() if cell.timing else None
+    shot = run_shot(
+        0, array, loop_seed.spawn(2 * cell.cycles), config, algorithm, report
+    )
+
+    records = shot.records
+    last = records[-1]
+    metrics: dict[str, float] = {
+        "moves": float(shot.total_moves),
+        "iterations": float(sum(record.iterations for record in records)),
+        "target_fill": float(last.target_fill_after),
+        "defect_free": float(last.defect_free_after),
+        "analysis_ops": float(sum(record.analysis_ops for record in records)),
+        "skipped_stale": float(
+            sum(record.skipped_stale for record in records)
+        ),
+        "cycles_used": float(shot.cycles_used),
+    }
+    if cell.timing and report is not None:
+        timing = report.stages.get(STAGE_SCHEDULE)
+        metrics["cpu_us"] = timing.total_us if timing is not None else 0.0
+    if cell.fpga:
+        metrics["fpga_cycles"] = float(
+            sum(record.fpga_cycles or 0 for record in records)
+        )
+        metrics["fpga_us"] = float(
+            sum(record.fpga_us or 0.0 for record in records)
+        )
+    if cell.loss is not None:
+        n_final = int(last.truth_after.sum())
+        metrics["survival"] = n_final / n_initial if n_initial else 1.0
+        metrics["fill_after_loss"] = float(last.target_fill_after)
+        metrics["motion_ms"] = (
+            sum(record.program_us for record in records) / 1000.0
+        )
+    return TrialResult(key=trial.key(), metrics=metrics)
 
 
 def run_trial_batch_guarded(
@@ -212,6 +285,11 @@ def run_trial_batch(trials: Sequence[TrialSpec]) -> list[TrialResult]:
     cell = trials[0].cell
     if any(trial.cell != cell for trial in trials[1:]):
         raise ValueError("run_trial_batch requires trials from one scenario cell")
+    if cell.cycles > 1:
+        # The closed loop interleaves scheduling with camera/loss state,
+        # so there is no whole-batch schedule call to amortise — run the
+        # group's trials through the per-trial path instead.
+        return [run_trial(trial) for trial in trials]
     geometry = ArrayGeometry.square(cell.size, cell.target)
     seeds = [trial.seed_sequence().spawn(2) for trial in trials]
     arrays = [

@@ -12,6 +12,8 @@ Examples::
     repro campaign --seeds 100 --workers 4 --executor async \\
         --journal run.jsonl
     repro campaign --resume run.jsonl
+    repro campaign --sizes 12 --seeds 10 --loss --cycles 3
+    repro pipeline --size 12 --shots 4 --cycles 3 --loss --fpga
     repro worker --listen 0.0.0.0:7501
     repro campaign --executor distributed \\
         --workers host-a:7501,host-b:7501 --journal run.jsonl
@@ -283,6 +285,61 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.physics.loss import LossModel
+    from repro.pipeline import PipelineConfig, run_pipeline
+
+    config = PipelineConfig(
+        size=args.size,
+        target=args.target,
+        fill=args.fill,
+        algorithm=args.algorithm,
+        shots=args.shots,
+        cycles=args.cycles,
+        master_seed=args.seed,
+        loss=LossModel() if args.loss else None,
+        fpga_timing=args.fpga,
+        queue_depth=args.queue_depth,
+    )
+    modes = (
+        ["sequential", "pipelined"] if args.mode == "both" else [args.mode]
+    )
+    results = {mode: run_pipeline(config, mode) for mode in modes}
+
+    status = 0
+    if args.mode == "both":
+        digests = {mode: r.trace_digest() for mode, r in results.items()}
+        if len(set(digests.values())) == 1:
+            if not args.quiet:
+                print(
+                    f"[pipelined == sequential: trace digest "
+                    f"{digests['sequential'][:16]}]"
+                )
+        else:
+            print(f"MODE MISMATCH: {digests}", file=sys.stderr)
+            status = 1
+    if not args.quiet:
+        for result in results.values():
+            print(result.format_summary())
+            print()
+    if args.trace:
+        # Canonical per-frame trace: byte-identical across modes, which
+        # is exactly what the CI smoke job `cmp`s.
+        lines = next(iter(results.values())).trace_lines()
+        Path(args.trace).write_text("\n".join(lines) + "\n")
+        if not args.quiet:
+            print(f"[trace written to {args.trace}]")
+    if args.json:
+        payload = {mode: r.to_dict() for mode, r in results.items()}
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        if not args.quiet:
+            print(f"[report written to {args.json}]")
+    return status
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -342,6 +399,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             master_seed=args.seed,
             fpga=args.fpga,
             timing=args.timing,
+            cycles=args.cycles,
             loss_models=(LossSpec(),) if args.loss else (None,),
         )
     if args.dump_spec:
@@ -558,6 +616,15 @@ def build_parser() -> argparse.ArgumentParser:
         "model",
     )
     p.add_argument(
+        "--cycles",
+        type=int,
+        default=1,
+        metavar="N",
+        help="closed-loop cycles per trial: rearrange, apply "
+        "losses, re-image, repair — up to N camera frames "
+        "(1 = classic open-loop trial)",
+    )
+    p.add_argument(
         "--workers",
         type=str,
         default=None,
@@ -639,6 +706,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--quiet", action="store_true", help="suppress progress output")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="closed-loop camera -> detect -> schedule -> AWG pipeline",
+        description=(
+            "Stream camera frames through the full closed-loop data path "
+            "(render -> detect occupancy -> schedule -> compile AWG "
+            "waveforms -> replay with losses), sequentially or with "
+            "stages pipelined across frames, and report per-stage "
+            "latency against the paper's hardware budget."
+        ),
+    )
+    p.add_argument("--size", type=int, default=12)
+    p.add_argument("--target", type=int, default=None)
+    p.add_argument("--fill", type=float, default=0.6)
+    p.add_argument("--algorithm", default="qrm", choices=list_algorithms())
+    p.add_argument("--shots", type=int, default=4, help="independent atom arrays")
+    p.add_argument(
+        "--cycles",
+        type=int,
+        default=1,
+        metavar="N",
+        help="closed-loop repair cycles per shot (re-image after replay)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--loss",
+        action="store_true",
+        help="replay through the default atom-loss model",
+    )
+    p.add_argument(
+        "--fpga",
+        action="store_true",
+        help="also run the FPGA cycle model per frame and compare "
+        "the measured stages against the paper's hardware "
+        "budget (qrm only)",
+    )
+    p.add_argument(
+        "--mode",
+        choices=["both", "sequential", "pipelined"],
+        default="both",
+        help="execution mode; 'both' runs the two drivers and "
+        "fails (exit 1) unless their traces are byte-identical",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=4,
+        help="bounded queue capacity between pipelined stages",
+    )
+    p.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the canonical per-frame trace (JSONL) here — "
+        "byte-identical across modes",
+    )
+    p.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the full report (metrics + stage latencies) here",
+    )
+    p.add_argument("--quiet", action="store_true", help="suppress the summary")
+    p.set_defaults(func=_cmd_pipeline)
 
     p = sub.add_parser(
         "bench",

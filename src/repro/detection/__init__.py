@@ -1,4 +1,17 @@
-"""Synthetic fluorescence imaging and atom detection (Fig. 1 front end)."""
+"""Synthetic fluorescence imaging and atom detection (Fig. 1 front end).
+
+The camera-facing half of the paper's workflow: a modelled sCMOS
+exposure of the atom array (:mod:`repro.detection.imaging`) is reduced
+to the binary occupancy matrix the rearrangement accelerator consumes
+(:mod:`repro.detection.detect`), the same image -> occupancy step the
+atom-detection FPGA literature (Winklmann et al., arXiv:2604.00816)
+implements in hardware.  Conventions throughout: images are 2-D float
+arrays of *electron counts* (row-major, one block of
+``pixels_per_site`` x ``pixels_per_site`` pixels per lattice site),
+occupancy grids are ``uint8`` row-major matrices, and all times are
+microseconds.  The closed-loop pipeline (:mod:`repro.pipeline`) drives
+this package as its ``camera`` and ``detect`` stages.
+"""
 
 from repro.detection.camera import CameraConfig, DEFAULT_CAMERA
 from repro.detection.detect import (

@@ -4,6 +4,15 @@ Each trap site owns a square pixel ROI; the summed electron counts per
 ROI form a bimodal distribution split by a data-driven threshold.  When
 the image is effectively unimodal (all-empty or all-full arrays), the
 expected single-atom signal disambiguates which mode we are seeing.
+
+This is the software counterpart of the streaming per-site
+threshold detectors in the FPGA literature (Winklmann et al.,
+arXiv:2604.00816, Sec. III): same ROI-sum-and-threshold structure, but
+with the threshold fitted per image rather than calibrated offline.
+Inputs are electron-count images from :mod:`repro.detection.imaging`;
+the output :class:`DetectionResult` carries the occupancy
+:class:`~repro.lattice.array.AtomArray`, the threshold (electrons), and
+the empty/occupied separation SNR.
 """
 
 from __future__ import annotations

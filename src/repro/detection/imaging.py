@@ -4,6 +4,12 @@ Atoms are point emitters at site centres; their light spreads with the
 camera PSF, photon arrival is Poisson, and the sensor adds a uniform
 Poisson background plus Gaussian read noise.  The output is an
 electron-count image on which :mod:`repro.detection.detect` runs.
+
+Units: photon/electron counts per pixel (floats after quantum
+efficiency and read noise), PSF width in pixels, geometry in lattice
+sites.  Randomness comes only from the caller-supplied generator, so
+the closed-loop pipeline can pre-spawn one camera stream per frame and
+stay bit-reproducible.
 """
 
 from __future__ import annotations

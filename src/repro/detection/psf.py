@@ -1,4 +1,10 @@
-"""Gaussian point-spread function utilities."""
+"""Gaussian point-spread function utilities.
+
+The imaging model approximates the microscope's PSF as an isotropic
+Gaussian; ``sigma`` and kernel radii are in *pixels* (the camera model
+converts from physical units), and kernels are normalised to unit sum
+so convolution conserves photon counts.
+"""
 
 from __future__ import annotations
 

@@ -3,6 +3,9 @@
 Per-site integrated signals are bimodal (empty traps vs single atoms).
 Otsu's method finds the split without assuming the class shapes; a
 Gaussian-mixture refinement sharpens it when both modes are present.
+All thresholds and signals are in summed electron counts per site ROI —
+the same quantity an FPGA detector compares against its calibrated
+per-site constant.
 """
 
 from __future__ import annotations

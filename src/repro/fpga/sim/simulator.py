@@ -1,4 +1,11 @@
-"""Synchronous driver for a graph of dataflow modules."""
+"""Synchronous driver for a graph of dataflow modules.
+
+Ticks every module once per clock cycle (in the registration order,
+which callers arrange to be dataflow order) until all modules report
+done, counting cycles and detecting deadlock — the simulation loop
+behind the paper's Fig. 5 cycle counts.  Results are in integer clock
+cycles; FIFO occupancy statistics ride along for the trace renderer.
+"""
 
 from __future__ import annotations
 

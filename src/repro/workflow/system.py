@@ -7,6 +7,14 @@ and scheduling run on the same FPGA that receives the image and drives
 the AWG, so only on-chip hops remain.  The delta between the two budgets
 is the paper's motivation for moving the rearrangement analysis into
 the PL.
+
+Every :class:`BudgetItem` carries, besides its free-form description, a
+**canonical stage key** from :data:`repro.timing.latency.PIPELINE_STAGES`
+(``camera``/``detect``/``schedule``/``awg``) and is denominated in
+microseconds — the same vocabulary and unit the measured pipeline's
+:class:`~repro.timing.latency.StageReport` uses, so the analytic model
+and the simulated data path compare cell by cell
+(``StageReport.compare_to_budget``) instead of by string matching.
 """
 
 from __future__ import annotations
@@ -17,30 +25,61 @@ from repro.baselines.cost_model import model_cpu_time_us
 from repro.detection.camera import CameraConfig, DEFAULT_CAMERA
 from repro.errors import ConfigurationError
 from repro.fpga.config import DEFAULT_FPGA_CONFIG, FpgaConfig
+from repro.timing.latency import (
+    PIPELINE_STAGES,
+    STAGE_AWG,
+    STAGE_CAMERA,
+    STAGE_DETECT,
+    STAGE_SCHEDULE,
+)
 from repro.workflow.links import AXI_DDR, COAXPRESS_12, LinkModel, PCIE_GEN3_X8
 
 
 @dataclass(frozen=True)
 class BudgetItem:
-    """One contribution to an end-to-end latency budget."""
+    """One contribution to an end-to-end latency budget.
+
+    ``stage`` is the human-readable description; ``key`` the canonical
+    pipeline stage this contribution belongs to (for comparison with the
+    measured :class:`~repro.timing.latency.StageReport`).
+    """
 
     stage: str
     time_us: float
+    key: str = ""
 
 
 @dataclass
 class LatencyBudget:
-    """An ordered latency breakdown."""
+    """An ordered latency breakdown (microseconds throughout)."""
 
     architecture: str
     items: list[BudgetItem] = field(default_factory=list)
 
-    def add(self, stage: str, time_us: float) -> None:
-        self.items.append(BudgetItem(stage, time_us))
+    def add(self, stage: str, time_us: float, key: str = "") -> None:
+        if key and key not in PIPELINE_STAGES:
+            raise ConfigurationError(
+                f"unknown stage key {key!r}; expected one of {PIPELINE_STAGES}"
+            )
+        self.items.append(BudgetItem(stage, time_us, key))
 
     @property
     def total_us(self) -> float:
         return sum(item.time_us for item in self.items)
+
+    def stage_totals(self) -> dict[str, float]:
+        """Modelled microseconds summed per canonical stage key.
+
+        The mapping the measured pipeline compares itself against
+        (``StageReport.compare_to_budget``); keys follow
+        :data:`~repro.timing.latency.PIPELINE_STAGES` order.
+        """
+        totals: dict[str, float] = {}
+        for key in PIPELINE_STAGES:
+            items = [item for item in self.items if item.key == key]
+            if items:
+                totals[key] = sum(item.time_us for item in items)
+        return totals
 
     def format(self) -> str:
         lines = [f"architecture {self.architecture}:"]
@@ -90,15 +129,37 @@ def architecture_a_budget(
     del fpga_analysis_us  # analysis happens on the host in this architecture
     budget = LatencyBudget("a (host-mediated)")
     bits = model.image_bits(size)
-    budget.add("camera -> grabber (CXP)", model.camera_link.transfer_us(bits))
-    budget.add("grabber -> host (PCIe)", model.host_link.transfer_us(bits))
-    budget.add("host driver/interrupt overhead", model.host_software_overhead_us)
+    budget.add(
+        "camera -> grabber (CXP)",
+        model.camera_link.transfer_us(bits),
+        key=STAGE_CAMERA,
+    )
+    budget.add(
+        "grabber -> host (PCIe)",
+        model.host_link.transfer_us(bits),
+        key=STAGE_CAMERA,
+    )
+    budget.add(
+        "host driver/interrupt overhead",
+        model.host_software_overhead_us,
+        key=STAGE_CAMERA,
+    )
     mpx = model.n_pixels(size) / 1e6
-    budget.add("host atom detection", model.cpu_detection_us_per_mpx * mpx)
-    budget.add("host QRM scheduling", model_cpu_time_us("qrm", size))
+    budget.add(
+        "host atom detection",
+        model.cpu_detection_us_per_mpx * mpx,
+        key=STAGE_DETECT,
+    )
+    budget.add(
+        "host QRM scheduling", model_cpu_time_us("qrm", size), key=STAGE_SCHEDULE
+    )
     moves_bits = size * size  # movement list, generously one bit per site
-    budget.add("host -> AWG FPGA (PCIe)", model.host_link.transfer_us(moves_bits))
-    budget.add("AWG setup", model.awg_setup_us)
+    budget.add(
+        "host -> AWG FPGA (PCIe)",
+        model.host_link.transfer_us(moves_bits),
+        key=STAGE_AWG,
+    )
+    budget.add("AWG setup", model.awg_setup_us, key=STAGE_AWG)
     return budget
 
 
@@ -116,16 +177,28 @@ def architecture_b_budget(
         raise ConfigurationError("size must be >= 2")
     budget = LatencyBudget("b (fully on FPGA)")
     bits = model.image_bits(size)
-    budget.add("camera -> FPGA (CXP)", model.camera_link.transfer_us(bits))
+    budget.add(
+        "camera -> FPGA (CXP)",
+        model.camera_link.transfer_us(bits),
+        key=STAGE_CAMERA,
+    )
     # The streaming detector consumes pixels as the camera link delivers
     # them, so only the flush of its last image row is exposed latency.
     pps = model.camera.pixels_per_site
     flush_cycles = model.fpga_detection_cycles_per_px * size * pps * pps
-    budget.add("on-FPGA detection (flush)", flush_cycles / model.fpga.clock_mhz)
-    budget.add("QRM accelerator analysis", fpga_analysis_us)
+    budget.add(
+        "on-FPGA detection (flush)",
+        flush_cycles / model.fpga.clock_mhz,
+        key=STAGE_DETECT,
+    )
+    budget.add("QRM accelerator analysis", fpga_analysis_us, key=STAGE_SCHEDULE)
     moves_bits = size * size
-    budget.add("PL -> AWG (on-chip)", model.onchip_link.transfer_us(moves_bits))
-    budget.add("AWG setup", model.awg_setup_us)
+    budget.add(
+        "PL -> AWG (on-chip)",
+        model.onchip_link.transfer_us(moves_bits),
+        key=STAGE_AWG,
+    )
+    budget.add("AWG setup", model.awg_setup_us, key=STAGE_AWG)
     return budget
 
 

@@ -18,9 +18,11 @@ on:
 Used by ``test_pass_equivalence.py`` (QRM pass, guarded drain x
 ``s_en``), ``test_repair_equivalence.py`` (repair stage),
 ``test_baseline_equivalence.py`` (Tetris/PSCA/MTA1),
-``test_executor_batch.py`` (batched replay), and — via the
-:func:`campaign_specs` grids — ``test_journal.py`` (journal
-crash-consistency against the clean-run oracle).
+``test_executor_batch.py`` (batched replay), ``test_pipeline.py``
+(pipelined vs sequential closed-loop drivers, via
+:func:`pipeline_configs`), and — via the :func:`campaign_specs` grids —
+``test_journal.py`` (journal crash-consistency against the clean-run
+oracle).
 """
 
 from __future__ import annotations
@@ -90,28 +92,65 @@ def atom_arrays(draw, sizes=SIZES, targets=TARGETS) -> AtomArray:
 
 
 @st.composite
-def campaign_specs(draw, max_seeds: int = 3):
+def campaign_specs(draw, max_seeds: int = 3, cycles=(1,)):
     """Tiny campaign grids for engine/journal differential tests.
 
     Small enough that one full campaign runs in milliseconds, varied
     enough to cover multi-algorithm grids, so crash-consistency and
     executor-equivalence properties can afford one clean run plus one
-    perturbed run per example.
+    perturbed run per example.  Pass ``cycles`` with values > 1 to draw
+    closed-loop (multi-cycle) campaigns.
     """
-    from repro.campaign.spec import CampaignSpec
+    from repro.campaign.spec import CampaignSpec, LossSpec
 
     algorithms = draw(st.sampled_from([("qrm",), ("tetris",), ("qrm", "tetris")]))
     size = draw(st.sampled_from((4, 6, 8)))
     fill = draw(st.sampled_from((0.3, 0.5, 0.7)))
     n_seeds = draw(st.integers(min_value=1, max_value=max_seeds))
     master_seed = draw(st.integers(min_value=0, max_value=2**16))
+    n_cycles = draw(st.sampled_from(cycles))
+    # Multi-cycle runs only differ from single-cycle ones when replay is
+    # stochastic, so closed-loop grids always carry an aggressive loss
+    # model (otherwise a converged shot would stay converged forever).
+    loss_models = (LossSpec(vacuum_lifetime_s=0.05),) if n_cycles > 1 else (None,)
     return CampaignSpec(
         name="oracle",
         algorithms=algorithms,
         sizes=(size,),
         fills=(fill,),
+        loss_models=loss_models,
         n_seeds=n_seeds,
         master_seed=master_seed,
+        cycles=n_cycles,
+    )
+
+
+@st.composite
+def pipeline_configs(draw, max_shots: int = 3, max_cycles: int = 3):
+    """Closed-loop :class:`~repro.pipeline.PipelineConfig` inputs.
+
+    Drawn over geometry x fill x stream shape x loss so the pipelined
+    and the sequential driver are compared across single-frame runs,
+    deep repair loops, lossless no-op cycles, and queue depths down to
+    the fully serialised ``1``.
+    """
+    from repro.physics.loss import LossModel
+    from repro.pipeline import PipelineConfig
+
+    size = draw(st.sampled_from((4, 6, 8)))
+    fill = draw(st.sampled_from((0.3, 0.5, 0.7)))
+    shots = draw(st.integers(min_value=1, max_value=max_shots))
+    cycles = draw(st.integers(min_value=1, max_value=max_cycles))
+    lossy = draw(st.booleans())
+    return PipelineConfig(
+        size=size,
+        fill=fill,
+        algorithm=draw(st.sampled_from(("qrm", "tetris"))),
+        shots=shots,
+        cycles=cycles,
+        master_seed=draw(st.integers(min_value=0, max_value=2**16)),
+        loss=LossModel(vacuum_lifetime_s=0.05) if lossy else None,
+        queue_depth=draw(st.sampled_from((1, 2, 4))),
     )
 
 

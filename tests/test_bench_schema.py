@@ -38,9 +38,26 @@ def test_committed_bench_has_all_component_speedups(committed_payload):
     assert set(components) == set(COMPONENT_NAMES)
     assert {"mta1", "guarded_drain", "batched_qrm"} <= set(components)
     for name, block in components.items():
-        if name in ("batched_qrm", "service_latency"):
+        if name in ("batched_qrm", "service_latency", "pipeline_latency"):
             continue  # pinned separately below — different block shapes
         assert block["speedup_vs_reference"] > 1.0
+
+
+def test_committed_bench_pipeline_latency_block(committed_payload):
+    # The closed-loop pipeline's acceptance bar: the sequential and the
+    # pipelined driver were digest-verified identical during the
+    # measurement, and the overlap ratio is recorded (near 1x on a
+    # single-CPU box — Python threads interleave, they don't
+    # parallelise — so only validity is pinned here; the downward slip
+    # is gated against the committed ratio by `repro bench --gate`).
+    block = committed_payload["component_speedups"]["pipeline_latency"]
+    assert block["size"] == 64
+    assert block["overlap_speedup"] > 0
+    assert len(block["trace_digest"]) == 64
+    assert block["sequential_ms"]["min"] > 0
+    assert block["pipelined_ms"]["min"] > 0
+    stages = {entry["stage"] for entry in block["stages"]}
+    assert {"camera", "detect", "schedule", "awg", "replay"} <= stages
 
 
 def test_committed_bench_service_latency_wins_at_high_concurrency(

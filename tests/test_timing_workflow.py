@@ -1,4 +1,10 @@
-"""Tests for timing helpers, move-timing model and workflow budgets."""
+"""Tests for timing helpers, move-timing model and workflow budgets.
+
+Includes the cross-checks that keep the analytic hardware budgets
+(:mod:`repro.workflow.system`) and the measured pipeline stage reports
+(:mod:`repro.timing.latency`) on one stage vocabulary and one unit, so
+``StageReport.compare_to_budget`` stays a like-for-like table.
+"""
 
 from __future__ import annotations
 
@@ -10,7 +16,10 @@ from repro.aod.timing import DEFAULT_MOVE_TIMING, MoveTimingModel
 from repro.errors import ConfigurationError
 from repro.lattice.geometry import Direction
 from repro.timing.latency import (
+    BUDGETED_STAGES,
+    PIPELINE_STAGES,
     LatencyComparison,
+    StageReport,
     cycles_to_us,
     measure_best_of,
     measure_wall,
@@ -134,3 +143,45 @@ class TestArchitectureBudgets:
         small = architecture_a_budget(20).total_us
         large = architecture_a_budget(90).total_us
         assert large > small
+
+
+class TestBudgetStageVocabulary:
+    """Budgets and measured stage reports must share one vocabulary."""
+
+    @staticmethod
+    def budgets():
+        return (
+            architecture_a_budget(20),
+            architecture_b_budget(20, fpga_analysis_us=1.6),
+        )
+
+    def test_every_budget_item_has_canonical_key(self):
+        for budget in self.budgets():
+            for item in budget.items:
+                assert item.key in PIPELINE_STAGES, (
+                    f"budget row {item.stage!r} has non-canonical "
+                    f"key {item.key!r}"
+                )
+
+    def test_stage_totals_cover_only_budgeted_stages(self):
+        # `replay` is physical motion, not control latency: no budget
+        # row may claim it, and the totals must account for every row.
+        for budget in self.budgets():
+            totals = budget.stage_totals()
+            assert set(totals) <= set(BUDGETED_STAGES)
+            assert sum(totals.values()) == pytest.approx(budget.total_us)
+
+    def test_stage_totals_follow_data_path_order(self):
+        for budget in self.budgets():
+            keys = list(budget.stage_totals())
+            assert keys == [k for k in PIPELINE_STAGES if k in keys]
+
+    def test_compare_to_budget_joins_on_shared_keys(self):
+        report = StageReport()
+        for stage in PIPELINE_STAGES:
+            report.record(stage, 100.0)
+        budget = architecture_b_budget(20, fpga_analysis_us=1.6)
+        table = report.compare_to_budget(budget.stage_totals(), "unit budget")
+        for key in BUDGETED_STAGES:
+            assert key in table
+        assert "replay" not in table
