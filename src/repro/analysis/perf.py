@@ -13,7 +13,8 @@ vectorised scheduler vs. the live per-command reference oracle
 pre-vectorization seed implementation
 (:mod:`repro.analysis.seed_baseline`) — plus one *component speedup*
 entry per additionally vectorised stage (repair, Tetris, PSCA, MTA1,
-and the guarded pipelined-mode drain), each timed against its live
+the guarded pipelined-mode drain, and the masked QRM+repair path on a
+ring target), each timed against its live
 ``*_reference`` oracle, and one per subsystem-level before/after pair
 (cross-trial batching, service micro-batching, and the closed-loop
 pipeline's stage overlap).  Both the "before" and
@@ -48,15 +49,18 @@ from repro.baselines.base import DEFAULT_ALGORITHMS, get_algorithm
 from repro.lattice.geometry import ArrayGeometry
 from repro.lattice.loading import load_uniform
 
-#: Bump when the JSON layout changes (v6: the ``pipeline_latency``
-#: component records the closed-loop camera->detect->schedule->AWG
-#: pipeline's end-to-end wall time in sequential vs stage-pipelined
-#: mode, plus its per-stage latency breakdown).
-BENCH_SCHEMA_VERSION = 6
+#: Bump when the JSON layout changes (v7: the ``masked_qrm`` component
+#: times the vectorised QRM+repair path on a non-rectangular ring
+#: target — mask-derived per-line scan limits plus mask-aware repair —
+#: against the per-command reference composition, and records the mask
+#: label and its site count next to the usual speedup block).
+BENCH_SCHEMA_VERSION = 7
 
 #: Components with a live before/after speedup measurement.  All but
 #: ``batched_qrm``, ``service_latency`` and ``pipeline_latency`` time a
-#: vectorised path against its per-command reference oracle;
+#: vectorised path against its per-command reference oracle
+#: (``masked_qrm`` does so on a non-rectangular ring target, covering
+#: the mask-derived scan limits and mask-aware repair);
 #: ``batched_qrm`` times the cross-trial batched engine against serial
 #: single-trial scheduling, ``service_latency`` times the scheduling
 #: service with micro-batching on against the same service with
@@ -69,6 +73,7 @@ COMPONENT_NAMES = (
     "psca",
     "mta1",
     "guarded_drain",
+    "masked_qrm",
     "batched_qrm",
     "service_latency",
     "pipeline_latency",
@@ -257,8 +262,9 @@ class PerfReport:
                     f"{s['batch_window_ms']:g} ms): {per_level}"
                 )
                 continue
+            scenario = f" {s['mask']}" if name == "masked_qrm" else ""
             parts.append(
-                f"{name} {s['size']}x{s['size']}: "
+                f"{name} {s['size']}x{s['size']}{scenario}: "
                 f"vectorized {s['vectorized_ms']['mean']:.2f} ms, "
                 f"reference {s['reference_ms']['mean']:.2f} ms -> "
                 f"{s['speedup_vs_reference']:.1f}x vs reference"
@@ -486,6 +492,54 @@ def measure_guarded_drain_speedup(
         lambda trial_input: run(run_pass_reference, trial_input),
     )
     return _speedup_block(size, fill, timings)
+
+
+def measure_masked_qrm_speedup(
+    size: int = 64,
+    fill: float = 0.5,
+    trials: int = 3,
+    master_seed: int = 0,
+) -> dict:
+    """Time the masked QRM+repair path under both implementations.
+
+    The scenario is a ring target (outer radius ``0.35 * size``, inner
+    ``0.15 * size``) with mask-derived per-line scan limits
+    (``scan_limit="mask"``) and repair enabled — the configuration that
+    exercises every mask-aware code path at once.  The vectorised side
+    is the production scheduler; the reference side composes the
+    per-command pass runner with :func:`~repro.core.repair.
+    repair_defects_reference` on the pre-repair final array, so both
+    sides schedule and repair identical masked states.
+    """
+    from repro.config import MASK_SCAN_LIMIT, QrmParameters
+    from repro.core.passes import run_pass_reference
+    from repro.core.qrm import QrmScheduler
+    from repro.core.repair import repair_defects_reference
+    from repro.lattice.mask import TargetMask
+
+    outer = size * 0.35
+    inner = size * 0.15
+    mask = TargetMask.ring(size, size, outer_radius=outer, inner_radius=inner)
+    geometry = ArrayGeometry.with_mask(size, size, mask)
+    fast = QrmScheduler(
+        geometry,
+        QrmParameters(enable_repair=True, scan_limit=MASK_SCAN_LIMIT),
+    )
+    slow = QrmScheduler(
+        geometry,
+        QrmParameters(scan_limit=MASK_SCAN_LIMIT),
+        pass_runner=run_pass_reference,
+    )
+    timings = _interleaved_timings(
+        trials,
+        lambda index: load_uniform(geometry, fill, rng=master_seed + index),
+        lambda array: fast.schedule(array),
+        lambda array: repair_defects_reference(slow.schedule(array).final.copy()),
+    )
+    block = _speedup_block(size, fill, timings)
+    block["mask"] = f"ring(outer={outer:g},inner={inner:g})"
+    block["mask_sites"] = int(mask.n_sites)
+    return block
 
 
 def measure_batched_qrm_speedup(
@@ -815,6 +869,7 @@ def measure_component_speedups(
     blocks = {
         "repair": measure_repair_speedup(size, fill, trials, master_seed),
         "guarded_drain": measure_guarded_drain_speedup(size, fill, trials, master_seed),
+        "masked_qrm": measure_masked_qrm_speedup(size, fill, trials, master_seed),
     }
     for component in ("tetris", "psca", "mta1"):
         blocks[component] = measure_baseline_speedup(
@@ -1107,7 +1162,10 @@ def validate_bench_report(payload: dict) -> None:
         if name == "pipeline_latency":
             _check_pipeline_block(block)
             continue
-        for key in _COMPONENT_KEYS:
+        keys = _COMPONENT_KEYS
+        if name == "masked_qrm":
+            keys = keys + ("mask", "mask_sites")
+        for key in keys:
             if key not in block:
                 raise ValueError(f"component_speedups[{name!r}] missing {key!r}")
         for key in ("vectorized_ms", "reference_ms"):
@@ -1117,6 +1175,18 @@ def validate_bench_report(payload: dict) -> None:
                 f"component_speedups[{name!r}].speedup_vs_reference "
                 f"must be positive"
             )
+        if name == "masked_qrm":
+            if not isinstance(block["mask"], str) or not block["mask"]:
+                raise ValueError(
+                    "component_speedups['masked_qrm'].mask must be a "
+                    "non-empty string"
+                )
+            sites = block["mask_sites"]
+            if not isinstance(sites, int) or sites < 1:
+                raise ValueError(
+                    "component_speedups['masked_qrm'].mask_sites must be "
+                    "a positive int"
+                )
     if speedup is not None and set(components) != set(COMPONENT_NAMES):
         raise ValueError(
             f"component_speedups {sorted(components)} incomplete; "

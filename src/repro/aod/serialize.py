@@ -44,17 +44,28 @@ def _shift_from_dict(data: dict[str, Any]) -> LineShift:
 
 
 def schedule_to_dict(schedule: MoveSchedule) -> dict[str, Any]:
-    """Schedule as a JSON-serialisable dictionary."""
+    """Schedule as a JSON-serialisable dictionary.
+
+    The geometry block gains a ``"mask"`` row-string list only when the
+    geometry carries an explicit mask, so documents for plain
+    (mask-free) geometries stay byte-identical to the pre-mask format
+    (and remain loadable by old readers).  A mask that happens to be
+    rectangular is still recorded: its rectangle may be off-centre or
+    odd-sized, which the extents-only encoding cannot represent.
+    """
     geometry = schedule.geometry
+    geo_dict: dict[str, Any] = {
+        "width": geometry.width,
+        "height": geometry.height,
+        "target_width": geometry.target_width,
+        "target_height": geometry.target_height,
+    }
+    if geometry.mask is not None:
+        geo_dict["mask"] = list(geometry.mask.to_rows())
     return {
         "version": FORMAT_VERSION,
         "algorithm": schedule.algorithm,
-        "geometry": {
-            "width": geometry.width,
-            "height": geometry.height,
-            "target_width": geometry.target_width,
-            "target_height": geometry.target_height,
-        },
+        "geometry": geo_dict,
         "moves": [
             {
                 "tag": move.tag,
@@ -75,11 +86,17 @@ def schedule_from_dict(data: dict[str, Any]) -> MoveSchedule:
         )
     try:
         geo = data["geometry"]
+        mask = None
+        if geo.get("mask") is not None:
+            from repro.lattice.mask import TargetMask
+
+            mask = TargetMask.from_rows(list(geo["mask"]))
         geometry = ArrayGeometry(
             width=int(geo["width"]),
             height=int(geo["height"]),
             target_width=int(geo["target_width"]),
             target_height=int(geo["target_height"]),
+            mask=mask,
         )
         schedule = MoveSchedule(geometry, algorithm=data.get("algorithm", ""))
         for move_data in data["moves"]:

@@ -9,6 +9,7 @@ from repro.baselines.base import (
     resolve_algorithms,
     schedule_batch,
     supports_batch,
+    supports_geometry,
     unregister_algorithm,
 )
 from repro.baselines.cost_model import (
@@ -43,5 +44,6 @@ __all__ = [
     "resolve_algorithms",
     "schedule_batch",
     "supports_batch",
+    "supports_geometry",
     "unregister_algorithm",
 ]

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Protocol
 
 from repro.core.result import RearrangementResult
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, UnsupportedGeometryError
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import ArrayGeometry
 
@@ -49,20 +49,46 @@ DEFAULT_ALGORITHMS = ("qrm", "tetris", "psca", "mta1")
 
 _REGISTRY: dict[str, AlgorithmFactory] = {}
 
+#: Algorithms whose published formulation is defined only for centred
+#: rectangular targets; they raise
+#: :class:`~repro.errors.UnsupportedGeometryError` on masked geometries.
+_RECT_ONLY: set[str] = set()
 
-def register_algorithm(name: str, factory: AlgorithmFactory) -> None:
+
+def register_algorithm(
+    name: str, factory: AlgorithmFactory, *, rect_only: bool = False
+) -> None:
     """Register ``factory`` under ``name`` (overwrites silently in tests).
 
     New factories should accept ``(geometry, *, rng=None, **params)``;
     plain single-argument factories keep working as long as they are
-    resolved without extra keyword arguments.
+    resolved without extra keyword arguments.  ``rect_only`` declares
+    that the algorithm cannot assemble non-rectangular target masks —
+    :func:`resolve_algorithms` uses it to fail campaigns fast.
     """
     _REGISTRY[name] = factory
+    if rect_only:
+        _RECT_ONLY.add(name)
+    else:
+        _RECT_ONLY.discard(name)
 
 
 def unregister_algorithm(name: str) -> None:
     """Remove a registration (primarily for test cleanup)."""
     _REGISTRY.pop(name, None)
+    _RECT_ONLY.discard(name)
+
+
+def supports_geometry(name: str, geometry: ArrayGeometry) -> bool:
+    """Can registered algorithm ``name`` schedule ``geometry``?
+
+    False only for rect-only algorithms handed a non-rectangular target
+    mask; unknown names raise ``KeyError`` like :func:`get_algorithm`.
+    """
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown algorithm '{name}'; known: {known}")
+    return geometry.is_rect_target or name not in _RECT_ONLY
 
 
 def get_algorithm(
@@ -93,12 +119,19 @@ def list_algorithms() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def resolve_algorithms(names: Iterable[str] | None = None) -> tuple[str, ...]:
+def resolve_algorithms(
+    names: Iterable[str] | None = None,
+    geometry: ArrayGeometry | None = None,
+) -> tuple[str, ...]:
     """Validate a requested algorithm line-up against the registry.
 
     ``None`` resolves to :data:`DEFAULT_ALGORITHMS`.  This is the one
     code path both the bench and campaign CLIs use, so an unknown name
-    fails identically everywhere.
+    fails identically everywhere.  When a ``geometry`` is given, the
+    line-up is also checked against its target: rect-only algorithms on
+    a non-rectangular mask raise
+    :class:`~repro.errors.UnsupportedGeometryError` up front, naming the
+    offenders and the mask-capable alternatives.
     """
     chosen = DEFAULT_ALGORITHMS if names is None else tuple(names)
     unknown = [name for name in chosen if name not in _REGISTRY]
@@ -107,6 +140,15 @@ def resolve_algorithms(names: Iterable[str] | None = None) -> tuple[str, ...]:
         raise KeyError(
             f"unknown algorithm(s): {', '.join(unknown)}; known: {known}"
         )
+    if geometry is not None and not geometry.is_rect_target:
+        rect_only = [name for name in chosen if name in _RECT_ONLY]
+        if rect_only:
+            capable = ", ".join(sorted(set(_REGISTRY) - _RECT_ONLY))
+            raise UnsupportedGeometryError(
+                f"algorithm(s) {', '.join(rect_only)} only support "
+                "rectangular targets, but the geometry carries a "
+                f"non-rectangular mask; mask-capable algorithms: {capable}"
+            )
     return chosen
 
 
@@ -192,12 +234,16 @@ def _register_builtins() -> None:
     register_algorithm("qrm-sen", qrm_sen)
     register_algorithm("qrm-reference", qrm_reference)
     register_algorithm("typical", plain(TypicalScheduler))
-    register_algorithm("tetris", plain(TetrisScheduler))
-    register_algorithm("tetris-reference", plain(TetrisSchedulerReference))
+    register_algorithm("tetris", plain(TetrisScheduler), rect_only=True)
+    register_algorithm(
+        "tetris-reference", plain(TetrisSchedulerReference), rect_only=True
+    )
     register_algorithm("psca", plain(PscaScheduler))
     register_algorithm("psca-reference", plain(PscaSchedulerReference))
-    register_algorithm("mta1", plain(Mta1Scheduler))
-    register_algorithm("mta1-reference", plain(Mta1SchedulerReference))
+    register_algorithm("mta1", plain(Mta1Scheduler), rect_only=True)
+    register_algorithm(
+        "mta1-reference", plain(Mta1SchedulerReference), rect_only=True
+    )
 
 
 _register_builtins()

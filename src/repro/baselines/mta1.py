@@ -47,6 +47,7 @@ from repro.core.repair import (
     _vertical_leg,
 )
 from repro.core.result import RearrangementResult, timed_schedule
+from repro.errors import UnsupportedGeometryError
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import ArrayGeometry
 
@@ -99,6 +100,11 @@ class Mta1Scheduler:
     name = "mta1"
 
     def __init__(self, geometry: ArrayGeometry):
+        if not geometry.is_rect_target:
+            raise UnsupportedGeometryError(
+                "mta1 routes into a rectangular target region; it does not "
+                "support non-rectangular target masks (use qrm-repair)"
+            )
         self.geometry = geometry
 
     def schedule(self, array: AtomArray) -> RearrangementResult:

@@ -42,6 +42,7 @@ from repro.aod.move import LineShift, ParallelMove
 from repro.aod.schedule import MoveSchedule
 from repro.core.result import RearrangementResult, timed_schedule
 from repro.core.scan import scan_line
+from repro.errors import UnsupportedGeometryError
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import ArrayGeometry, Direction
 
@@ -52,6 +53,11 @@ class TetrisScheduler:
     name = "tetris"
 
     def __init__(self, geometry: ArrayGeometry):
+        if not geometry.is_rect_target:
+            raise UnsupportedGeometryError(
+                "tetris assembles row-by-row rectangles; it does not "
+                "support non-rectangular target masks (use qrm-repair)"
+            )
         self.geometry = geometry
 
     # -- helpers -----------------------------------------------------------

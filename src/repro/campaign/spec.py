@@ -128,6 +128,156 @@ class QrmSpec:
         return "+".join(parts)
 
 
+def _freeze(value: Any) -> Any:
+    """Recursively convert lists to tuples so params stay hashable."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` for JSON rendering."""
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class MaskSpec:
+    """Serialisable recipe for a :class:`repro.lattice.mask.TargetMask`.
+
+    A campaign axis value: ``kind`` names a mask family and ``params``
+    carries that family's knobs as sorted ``(name, value)`` pairs
+    (tuples, so cells stay hashable).  The recipe is size-relative:
+    :meth:`build` instantiates it for a concrete array size, which lets
+    one spec sweep cleanly across a campaign's ``sizes`` axis.
+
+    Families: ``ring`` (annulus; ``outer``/``inner`` radii, outer
+    defaults to ``0.35 * size``), ``triangular`` (offset-row lattice;
+    ``pitch``/``margin``), ``sparse`` (explicit ``sites`` list of
+    ``(row, col)`` pairs), and ``rect`` (centred rectangle;
+    ``height``/``width`` — the paper's special case, mainly for
+    equivalence tests).
+    """
+
+    kind: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    KINDS = ("rect", "ring", "triangular", "sparse")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ConfigurationError(
+                f"unknown mask kind {self.kind!r}; known: {', '.join(self.KINDS)}"
+            )
+        object.__setattr__(
+            self,
+            "params",
+            tuple(sorted((str(key), _freeze(value)) for key, value in self.params)),
+        )
+
+    @classmethod
+    def of(cls, kind: str, **params: Any) -> "MaskSpec":
+        """Keyword-argument convenience constructor."""
+        return cls(kind=kind, params=tuple(params.items()))
+
+    @classmethod
+    def parse(cls, text: str) -> "MaskSpec":
+        """Parse a CLI mask string: ``kind[:key=value,...]``.
+
+        Examples: ``ring``, ``ring:outer=5,inner=2.5``,
+        ``triangular:pitch=2,margin=1``, ``sparse:sites=1-2+3-4``
+        (``row-col`` pairs joined by ``+``), ``rect:height=4,width=6``.
+        """
+        kind, _, rest = text.partition(":")
+        params: dict[str, Any] = {}
+        if rest:
+            for item in rest.split(","):
+                key, sep, raw = item.partition("=")
+                if not sep or not key:
+                    raise ConfigurationError(
+                        f"mask parameter {item!r} is not of the form key=value"
+                    )
+                if key == "sites":
+                    sites = []
+                    for pair in raw.split("+"):
+                        row, sep, col = pair.partition("-")
+                        if not sep:
+                            raise ConfigurationError(
+                                f"mask site {pair!r} is not of the form row-col"
+                            )
+                        sites.append((int(row), int(col)))
+                    params[key] = tuple(sites)
+                else:
+                    try:
+                        params[key] = int(raw)
+                    except ValueError:
+                        try:
+                            params[key] = float(raw)
+                        except ValueError:
+                            raise ConfigurationError(
+                                f"mask parameter {key}={raw!r} is not numeric"
+                            ) from None
+        return cls.of(kind, **params)
+
+    def param_dict(self) -> dict[str, Any]:
+        return {key: value for key, value in self.params}
+
+    def build(self, size: int):
+        """Instantiate the recipe as a ``TargetMask`` for a size x size array."""
+        from repro.lattice.mask import TargetMask
+
+        params = self.param_dict()
+        if self.kind == "ring":
+            outer = float(params.get("outer", max(1.0, size * 0.35)))
+            inner = float(params.get("inner", 0.0))
+            return TargetMask.ring(size, size, outer, inner)
+        if self.kind == "triangular":
+            return TargetMask.triangular_lattice(
+                size,
+                size,
+                pitch=int(params.get("pitch", 2)),
+                margin=int(params.get("margin", 1)),
+            )
+        if self.kind == "sparse":
+            sites = params.get("sites")
+            if not sites:
+                raise ConfigurationError(
+                    "a sparse mask needs a non-empty 'sites' parameter"
+                )
+            return TargetMask.sparse_sites(
+                size, size, [(int(row), int(col)) for row, col in sites]
+            )
+        height = int(params.get("height", max(2, size // 2)))
+        width = int(params.get("width", height))
+        return TargetMask.rect(size, size, height, width)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": {key: _thaw(value) for key, value in self.params},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MaskSpec":
+        return cls(
+            kind=data["kind"],
+            params=tuple(dict(data.get("params", {})).items()),
+        )
+
+    def label(self) -> str:
+        if not self.params:
+            return self.kind
+        rendered = []
+        for key, value in self.params:
+            if key == "sites":
+                rendered.append(f"sites={len(value)}")
+            else:
+                rendered.append(f"{key}={value:g}" if isinstance(value, float)
+                                else f"{key}={value}")
+        return f"{self.kind}({','.join(rendered)})"
+
+
 @dataclass(frozen=True)
 class ScenarioCell:
     """One grid point of a campaign: a fully specified scenario.
@@ -154,6 +304,8 @@ class ScenarioCell:
     timing: bool = False
     qrm: QrmSpec | None = None
     cycles: int = 1
+    mask: MaskSpec | None = None
+    loading: str = "uniform"
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -162,6 +314,19 @@ class ScenarioCell:
             raise ConfigurationError(f"fill must be in [0, 1], got {self.fill}")
         if self.cycles < 1:
             raise ConfigurationError(f"cycles must be >= 1, got {self.cycles}")
+        if self.mask is not None and self.target is not None:
+            raise ConfigurationError(
+                "a cell takes either a rectangular 'target' size or a "
+                "'mask' recipe, not both"
+            )
+        if self.loading != "uniform":
+            from repro.lattice.loading import LOADERS
+
+            if self.loading not in LOADERS:
+                raise ConfigurationError(
+                    f"unknown loading model {self.loading!r}; "
+                    f"known: {', '.join(sorted(LOADERS))}"
+                )
         if self.fpga and self.algorithm != "qrm":
             raise ConfigurationError(
                 "the FPGA cycle model only implements the 'qrm' algorithm; "
@@ -177,12 +342,24 @@ class ScenarioCell:
         """The part of the cell that defines the random *instance*.
 
         Excludes the algorithm and loss model so that every algorithm
-        in a campaign is evaluated on identical loaded arrays.
+        in a campaign is evaluated on identical loaded arrays.  The
+        mask and loading keys appear only when non-default, so every
+        pre-mask instance key (and thus every cached trial's seed
+        stream) is untouched by the geometry generalisation.
         """
-        return {"size": self.size, "target": self.target, "fill": self.fill}
+        key: dict[str, Any] = {
+            "size": self.size,
+            "target": self.target,
+            "fill": self.fill,
+        }
+        if self.mask is not None:
+            key["mask"] = self.mask.to_dict()
+        if self.loading != "uniform":
+            key["loading"] = self.loading
+        return key
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "algorithm": self.algorithm,
             "size": self.size,
             "target": self.target,
@@ -193,6 +370,13 @@ class ScenarioCell:
             "qrm": self.qrm.to_dict() if self.qrm is not None else None,
             "cycles": self.cycles,
         }
+        # Omitted at their defaults: rectangle cells keep byte-identical
+        # dicts (and trial cache keys) across the mask generalisation.
+        if self.mask is not None:
+            payload["mask"] = self.mask.to_dict()
+        if self.loading != "uniform":
+            payload["loading"] = self.loading
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioCell":
@@ -203,12 +387,19 @@ class ScenarioCell:
         qrm = payload.get("qrm")
         if qrm is not None:
             payload["qrm"] = QrmSpec.from_dict(qrm)
+        mask = payload.get("mask")
+        if mask is not None:
+            payload["mask"] = MaskSpec.from_dict(mask)
         return cls(**payload)
 
     def label(self) -> str:
         parts = [self.algorithm, f"{self.size}x{self.size}", f"fill={self.fill:g}"]
         if self.target is not None:
             parts.insert(2, f"target={self.target}")
+        if self.mask is not None:
+            parts.insert(2, self.mask.label())
+        if self.loading != "uniform":
+            parts.append(f"loading={self.loading}")
         if self.qrm is not None:
             parts.append(self.qrm.label())
         if self.loss is not None:
@@ -233,6 +424,8 @@ class CampaignSpec:
     fills: tuple[float, ...] = (0.5,)
     targets: tuple[int | None, ...] = (None,)
     loss_models: tuple[LossSpec | None, ...] = (None,)
+    masks: tuple[MaskSpec | None, ...] = (None,)
+    loading: str = "uniform"
     n_seeds: int = 1
     master_seed: int = 0
     fpga: bool = False
@@ -249,7 +442,22 @@ class CampaignSpec:
             raise ConfigurationError(f"cycles must be >= 1, got {self.cycles}")
 
     def expand(self) -> list[ScenarioCell]:
-        """Expand the grid into scenario cells (may be empty)."""
+        """Expand the grid into scenario cells (may be empty).
+
+        The ``targets`` and ``masks`` axes merge into one geometry axis
+        (a mask already *is* a target).  A ``None`` entry in ``masks``
+        stands for "the rectangular ``targets`` axis"; non-``None``
+        entries add one masked geometry each.  So ``masks=(ring,)``
+        replaces the rectangle leg outright, ``masks=(None, ring)``
+        runs both, and the default ``masks=(None,)`` expands to exactly
+        the pre-mask grid, cell for cell.
+        """
+        geometries: list[tuple[int | None, MaskSpec | None]] = []
+        if None in self.masks:
+            geometries.extend((target, None) for target in self.targets)
+        geometries.extend(
+            (None, mask) for mask in self.masks if mask is not None
+        )
         cells = [
             ScenarioCell(
                 algorithm=algorithm,
@@ -260,11 +468,13 @@ class CampaignSpec:
                 fpga=self.fpga and algorithm == "qrm",
                 timing=self.timing,
                 cycles=self.cycles,
+                mask=mask,
+                loading=self.loading,
             )
-            for algorithm, size, target, fill, loss in itertools.product(
+            for algorithm, size, (target, mask), fill, loss in itertools.product(
                 self.algorithms,
                 self.sizes,
-                self.targets,
+                geometries,
                 self.fills,
                 self.loss_models,
             )
@@ -281,7 +491,7 @@ class CampaignSpec:
         return self.n_cells * self.n_seeds
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "name": self.name,
             "algorithms": list(self.algorithms),
             "sizes": list(self.sizes),
@@ -298,6 +508,15 @@ class CampaignSpec:
             "cycles": self.cycles,
             "extra_cells": [cell.to_dict() for cell in self.extra_cells],
         }
+        # Omitted at their defaults so pre-mask specs keep their hashes.
+        if self.masks != (None,):
+            payload["masks"] = [
+                mask.to_dict() if mask is not None else None
+                for mask in self.masks
+            ]
+        if self.loading != "uniform":
+            payload["loading"] = self.loading
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -309,6 +528,11 @@ class CampaignSpec:
             payload["loss_models"] = tuple(
                 LossSpec.from_dict(loss) if loss is not None else None
                 for loss in payload["loss_models"]
+            )
+        if "masks" in payload:
+            payload["masks"] = tuple(
+                MaskSpec.from_dict(mask) if mask is not None else None
+                for mask in payload["masks"]
             )
         if "extra_cells" in payload:
             payload["extra_cells"] = tuple(

@@ -134,6 +134,26 @@ def use_scheduler_factory(factory: Callable[[ScenarioCell, object], object]):
         _scheduler_factory = previous
 
 
+def cell_geometry(cell: ScenarioCell):
+    """The cell's array geometry: a centred rectangle or a masked target."""
+    from repro.lattice.geometry import ArrayGeometry
+
+    if cell.mask is not None:
+        return ArrayGeometry.with_mask(
+            cell.size, cell.size, cell.mask.build(cell.size)
+        )
+    return ArrayGeometry.square(cell.size, cell.target)
+
+
+def _load_array(cell: ScenarioCell, geometry, load_seed) -> "object":
+    """Load the cell's initial array through its named loading model."""
+    from repro.lattice.loading import load_named
+
+    return load_named(
+        cell.loading, geometry, cell.fill, rng=np.random.default_rng(load_seed)
+    )
+
+
 def _resolve_algorithm(cell: ScenarioCell, geometry):
     """The cell's scheduler: an explicit QRM preset or a registry name."""
     from repro.baselines.base import get_algorithm
@@ -157,15 +177,12 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     ``cycles > 1`` run the closed-loop pipeline (image -> detect ->
     schedule -> replay, repeated) instead of one open-loop schedule.
     """
-    from repro.lattice.geometry import ArrayGeometry
-    from repro.lattice.loading import load_uniform
-
     cell = trial.cell
-    geometry = ArrayGeometry.square(cell.size, cell.target)
+    geometry = cell_geometry(cell)
     if cell.cycles > 1:
         return _closed_loop_trial(trial, _resolve_algorithm(cell, geometry))
     load_seed, loss_seed = trial.seed_sequence().spawn(2)
-    array = load_uniform(geometry, cell.fill, rng=np.random.default_rng(load_seed))
+    array = _load_array(cell, geometry, load_seed)
 
     algorithm = _resolve_algorithm(cell, geometry)
     start = time.perf_counter()
@@ -194,7 +211,6 @@ def _closed_loop_trial(trial: TrialSpec, algorithm) -> TrialResult:
     ``motion_ms`` is the summed AWG program duration (the closed loop
     compiles waveforms, so that is the natural per-cycle motion time).
     """
-    from repro.lattice.loading import load_uniform
     from repro.pipeline.stages import PipelineConfig, run_shot
     from repro.timing.latency import STAGE_SCHEDULE, StageReport
 
@@ -207,11 +223,10 @@ def _closed_loop_trial(trial: TrialSpec, algorithm) -> TrialResult:
         cycles=cell.cycles,
         loss=cell.loss.to_model() if cell.loss is not None else None,
         fpga_timing=cell.fpga,
+        mask=cell.mask.build(cell.size) if cell.mask is not None else None,
     )
     load_seed, loop_seed = trial.seed_sequence().spawn(2)
-    array = load_uniform(
-        config.geometry(), cell.fill, rng=np.random.default_rng(load_seed)
-    )
+    array = _load_array(cell, config.geometry(), load_seed)
     n_initial = array.n_atoms
     report = StageReport() if cell.timing else None
     shot = run_shot(
@@ -277,8 +292,6 @@ def run_trial_batch(trials: Sequence[TrialSpec]) -> list[TrialResult]:
     batch wall time divided by the group size, best of 3 repeats).
     """
     from repro.baselines.base import schedule_batch
-    from repro.lattice.geometry import ArrayGeometry
-    from repro.lattice.loading import load_uniform
 
     if not trials:
         return []
@@ -290,11 +303,10 @@ def run_trial_batch(trials: Sequence[TrialSpec]) -> list[TrialResult]:
         # so there is no whole-batch schedule call to amortise — run the
         # group's trials through the per-trial path instead.
         return [run_trial(trial) for trial in trials]
-    geometry = ArrayGeometry.square(cell.size, cell.target)
+    geometry = cell_geometry(cell)
     seeds = [trial.seed_sequence().spawn(2) for trial in trials]
     arrays = [
-        load_uniform(geometry, cell.fill, rng=np.random.default_rng(load_seed))
-        for load_seed, _ in seeds
+        _load_array(cell, geometry, load_seed) for load_seed, _ in seeds
     ]
 
     algorithm = _resolve_algorithm(cell, geometry)

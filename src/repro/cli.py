@@ -54,8 +54,20 @@ from repro.lattice.metrics import summarize
 from repro.lattice.render import render_side_by_side
 
 
+def _parse_mask(text: str, size: int):
+    """A CLI mask spec string -> concrete ``TargetMask`` for ``size``."""
+    from repro.campaign.spec import MaskSpec
+
+    return MaskSpec.parse(text).build(size)
+
+
 def _cmd_rearrange(args: argparse.Namespace) -> int:
-    geometry = ArrayGeometry.square(args.size, args.target)
+    if args.mask is not None:
+        geometry = ArrayGeometry.with_mask(
+            args.size, args.size, _parse_mask(args.mask, args.size)
+        )
+    else:
+        geometry = ArrayGeometry.square(args.size, args.target)
     array = load_uniform(geometry, args.fill, rng=args.seed)
     algorithm = get_algorithm(args.algorithm, geometry)
     result = algorithm.schedule(array)
@@ -303,6 +315,11 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         loss=LossModel() if args.loss else None,
         fpga_timing=args.fpga,
         queue_depth=args.queue_depth,
+        mask=(
+            _parse_mask(args.mask, args.size)
+            if args.mask is not None
+            else None
+        ),
     )
     modes = (
         ["sequential", "pipelined"] if args.mode == "both" else [args.mode]
@@ -390,6 +407,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"invalid spec file {spec_path}: {exc}", file=sys.stderr)
             return 2
     else:
+        from repro.campaign.spec import MaskSpec
+
+        masks: tuple = (None,)
+        if args.mask:
+            masks = tuple(
+                None if text in ("none", "rect") else MaskSpec.parse(text)
+                for text in args.mask
+            )
         spec = CampaignSpec(
             name=args.name,
             algorithms=tuple(args.algorithms),
@@ -401,16 +426,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             timing=args.timing,
             cycles=args.cycles,
             loss_models=(LossSpec(),) if args.loss else (None,),
+            masks=masks,
+            loading=args.loading,
         )
     if args.dump_spec:
         print(spec.to_json())
         return 0
 
     from repro.baselines.base import resolve_algorithms
+    from repro.campaign.trial import cell_geometry
+    from repro.errors import UnsupportedGeometryError
 
     try:
         resolve_algorithms(spec.algorithms)
-    except KeyError as exc:
+        # Fail fast when a masked cell names a rect-only algorithm,
+        # before any trial executes (one check per distinct geometry).
+        checked: set = set()
+        for cell in spec.expand():
+            if cell.mask is None:
+                continue
+            signature = (cell.algorithm, cell.size, cell.mask)
+            if signature in checked:
+                continue
+            checked.add(signature)
+            resolve_algorithms((cell.algorithm,), cell_geometry(cell))
+    except (KeyError, UnsupportedGeometryError) as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
 
@@ -501,6 +541,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("rearrange", help="run one rearrangement")
     p.add_argument("--size", type=int, default=20)
     p.add_argument("--target", type=int, default=None)
+    p.add_argument(
+        "--mask",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="non-rectangular target mask: kind[:key=value,...], e.g. "
+        "'ring', 'ring:outer=6,inner=3', 'triangular:pitch=2', "
+        "'sparse:sites=1-2+3-4' (overrides --target)",
+    )
     p.add_argument("--fill", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--algorithm", default="qrm", choices=list_algorithms())
@@ -594,6 +643,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithms", nargs="+", default=["qrm"], metavar="ALGO")
     p.add_argument("--sizes", type=int, nargs="+", default=[20])
     p.add_argument("--fills", type=float, nargs="+", default=[0.5])
+    p.add_argument(
+        "--mask",
+        type=str,
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help="target-mask grid axis: kind[:key=value,...] entries "
+        "('ring', 'ring:outer=6,inner=3', 'triangular:pitch=2', "
+        "'sparse:sites=1-2+3-4'); the literal 'none' keeps the "
+        "rectangular --target leg alongside the masked ones",
+    )
+    p.add_argument(
+        "--loading",
+        type=str,
+        default="uniform",
+        choices=["uniform", "poisson"],
+        help="stochastic loading model for the initial arrays "
+        "(poisson = Thomas-process clustered loading)",
+    )
     p.add_argument("--seeds", type=int, default=5, help="trials per grid cell")
     p.add_argument(
         "--seed", type=int, default=0, help="master seed for the per-trial RNG streams"
@@ -720,6 +788,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--size", type=int, default=12)
     p.add_argument("--target", type=int, default=None)
+    p.add_argument(
+        "--mask",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="non-rectangular target mask (same syntax as "
+        "'repro rearrange --mask'; overrides --target)",
+    )
     p.add_argument("--fill", type=float, default=0.6)
     p.add_argument("--algorithm", default="qrm", choices=list_algorithms())
     p.add_argument("--shots", type=int, default=4, help="independent atom arrays")

@@ -15,6 +15,10 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 
 
+#: Sentinel ``scan_limit`` value selecting mask-derived per-line bounds.
+MASK_SCAN_LIMIT = "mask"
+
+
 class ScanMode(enum.Enum):
     """How the column pass of an iteration sees the matrix.
 
@@ -62,7 +66,11 @@ class QrmParameters:
         The ``s_en`` manual-control bound (paper Sec. IV-C): scan stages
         at quadrant-local positions >= this value never issue shift
         commands, preventing unnecessary shifts far from the centre.
-        ``None`` (default) scans the full quadrant width.
+        ``None`` (default) scans the full quadrant width.  The string
+        ``"mask"`` derives *per-line* bounds from the geometry's target
+        mask instead (each line scans just deep enough to cover its own
+        mask sites — see
+        :meth:`~repro.lattice.geometry.ArrayGeometry.quadrant_mask_limits`).
     """
 
     n_iterations: int = 4
@@ -70,7 +78,7 @@ class QrmParameters:
     merge_mirror_quadrants: bool = True
     enable_repair: bool = False
     max_repair_moves: int = 4096
-    scan_limit: int | None = None
+    scan_limit: int | str | None = None
 
     def __post_init__(self) -> None:
         if self.n_iterations < 1:
@@ -81,7 +89,13 @@ class QrmParameters:
             raise ConfigurationError(
                 f"max_repair_moves must be >= 0, got {self.max_repair_moves}"
             )
-        if self.scan_limit is not None and self.scan_limit < 1:
+        if isinstance(self.scan_limit, str):
+            if self.scan_limit != MASK_SCAN_LIMIT:
+                raise ConfigurationError(
+                    f"scan_limit must be an int >= 1, None, or "
+                    f"{MASK_SCAN_LIMIT!r}, got {self.scan_limit!r}"
+                )
+        elif self.scan_limit is not None and self.scan_limit < 1:
             raise ConfigurationError(
                 f"scan_limit must be >= 1 or None, got {self.scan_limit}"
             )

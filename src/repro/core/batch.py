@@ -60,9 +60,12 @@ class BatchQrmScheduler:
         geometry: ArrayGeometry,
         params: QrmParameters = DEFAULT_QRM_PARAMETERS,
     ):
+        from repro.core.qrm import resolve_scan_limits
+
         self.geometry = geometry
         self.params = params
         self.frames = {q: geometry.quadrant_frame(q) for q in Quadrant}
+        self._scan_limits = resolve_scan_limits(geometry, params.scan_limit)
         self._interner = MoveInterner()
 
     # -- public API --------------------------------------------------------
@@ -127,7 +130,7 @@ class BatchQrmScheduler:
                 scan_source=sub,
                 merge_mirror=self.params.merge_mirror_quadrants,
                 guard=False,
-                scan_limit=self.params.scan_limit,
+                scan_limit=self._scan_limits[Phase.ROW],
                 interner=self._interner,
             )
             col_outcomes = run_pass_batch(
@@ -137,7 +140,7 @@ class BatchQrmScheduler:
                 scan_source=snapshot if pipelined else sub,
                 merge_mirror=self.params.merge_mirror_quadrants,
                 guard=pipelined,
-                scan_limit=self.params.scan_limit,
+                scan_limit=self._scan_limits[Phase.COLUMN],
                 interner=self._interner,
             )
             if sub is not live:

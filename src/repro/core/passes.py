@@ -210,6 +210,18 @@ def _direction_order(phase: Phase) -> tuple[Direction, Direction]:
     return (Direction.SOUTH, Direction.NORTH)
 
 
+def _quadrant_limit(scan_limit, quadrant):
+    """Resolve the ``s_en`` bound for one quadrant's scan.
+
+    ``scan_limit`` is a scalar (or None) applied to every quadrant, or a
+    ``{Quadrant: per-line bounds}`` mapping — the mask-derived per-line
+    limits of :meth:`ArrayGeometry.quadrant_mask_limits`.
+    """
+    if isinstance(scan_limit, dict):
+        return scan_limit[quadrant]
+    return scan_limit
+
+
 def run_pass_reference(
     array: AtomArray,
     frames: dict[Quadrant, QuadrantFrame],
@@ -217,7 +229,7 @@ def run_pass_reference(
     scan_source: np.ndarray,
     merge_mirror: bool = True,
     guard: bool = False,
-    scan_limit: int | None = None,
+    scan_limit=None,
 ) -> PassOutcome:
     """Per-line, per-command reference implementation of one pass.
 
@@ -234,7 +246,8 @@ def run_pass_reference(
     for quadrant in QUADRANT_ORDER:
         frame = frames[quadrant]
         local = frame.extract(scan_source)
-        scans: list[LineScanResult] = scan_axis(local, axis, limit=scan_limit)
+        limit = _quadrant_limit(scan_limit, quadrant)
+        scans: list[LineScanResult] = scan_axis(local, axis, limit=limit)
         n_positions = local.shape[1] if phase is Phase.ROW else local.shape[0]
         outcome.line_commands[quadrant] = [scan.n_commands for scan in scans]
         for scan in scans:
@@ -365,7 +378,7 @@ def _build_command_table(
     frames: dict[Quadrant, QuadrantFrame],
     phase: Phase,
     scan_source: np.ndarray,
-    scan_limit: int | None,
+    scan_limit,
 ) -> tuple[_CommandTable | None, list]:
     """Scan all quadrants and flatten the per-line commands into arrays.
 
@@ -378,7 +391,8 @@ def _build_command_table(
     scans: list = []
     for quadrant in QUADRANT_ORDER:
         frame = frames[quadrant]
-        scan = scan_quadrant(frame.extract(scan_source), axis, limit=scan_limit)
+        limit = _quadrant_limit(scan_limit, quadrant)
+        scan = scan_quadrant(frame.extract(scan_source), axis, limit=limit)
         scans.append((frame, scan))
         outcome.line_commands[quadrant] = scan.line_counts.tolist()
         outcome.n_scanned_bits += scan.n_scanned_bits
@@ -574,7 +588,7 @@ def run_pass(
     scan_source: np.ndarray,
     merge_mirror: bool = True,
     guard: bool = False,
-    scan_limit: int | None = None,
+    scan_limit=None,
 ) -> PassOutcome:
     """Scan ``scan_source``, batch the commands, execute them on ``array``.
 
@@ -850,7 +864,7 @@ def _build_batch_command_table(
     frames: dict[Quadrant, QuadrantFrame],
     phase: Phase,
     scan_source: np.ndarray,
-    scan_limit: int | None,
+    scan_limit,
 ) -> tuple[_BatchCommandTable | None, list]:
     """Scan all quadrants of all trials and flatten into one state table.
 
@@ -867,7 +881,9 @@ def _build_batch_command_table(
     for quadrant in QUADRANT_ORDER:
         frame = frames[quadrant]
         scan = scan_quadrant_batch(
-            frame.extract_batch(scan_source), axis, limit=scan_limit
+            frame.extract_batch(scan_source),
+            axis,
+            limit=_quadrant_limit(scan_limit, quadrant),
         )
         scans.append((frame, scan))
         counts = scan.line_counts.tolist()
@@ -1147,7 +1163,7 @@ def run_pass_batch(
     scan_source: np.ndarray,
     merge_mirror: bool = True,
     guard: bool = False,
-    scan_limit: int | None = None,
+    scan_limit=None,
     interner: MoveInterner | None = None,
 ) -> list[PassOutcome]:
     """One pass over a whole stack of trials, one per-trial outcome each.

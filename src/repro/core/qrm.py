@@ -25,7 +25,12 @@ import warnings
 from typing import Callable, Iterable
 
 from repro.aod.schedule import MoveSchedule
-from repro.config import DEFAULT_QRM_PARAMETERS, QrmParameters, ScanMode
+from repro.config import (
+    DEFAULT_QRM_PARAMETERS,
+    MASK_SCAN_LIMIT,
+    QrmParameters,
+    ScanMode,
+)
 from repro.core.passes import Phase, PassOutcome, run_pass
 from repro.core.result import IterationStats, RearrangementResult, timed_schedule
 from repro.lattice.array import AtomArray
@@ -33,6 +38,25 @@ from repro.lattice.geometry import ArrayGeometry, Quadrant
 
 #: Signature of a pass implementation (run_pass / run_pass_reference).
 PassRunner = Callable[..., PassOutcome]
+
+
+def resolve_scan_limits(
+    geometry: ArrayGeometry, scan_limit
+) -> dict[Phase, object]:
+    """Resolve ``QrmParameters.scan_limit`` into per-phase pass arguments.
+
+    Ints and ``None`` pass through unchanged; the ``"mask"`` sentinel
+    becomes one ``{Quadrant: per-line bounds}`` mapping per phase,
+    derived once from the geometry's target mask (row passes scan local
+    rows, column passes scan local columns, so the two phases carry
+    different line sets).
+    """
+    if scan_limit == MASK_SCAN_LIMIT:
+        return {
+            Phase.ROW: geometry.quadrant_mask_limits(axis=0),
+            Phase.COLUMN: geometry.quadrant_mask_limits(axis=1),
+        }
+    return {Phase.ROW: scan_limit, Phase.COLUMN: scan_limit}
 
 
 class QrmScheduler:
@@ -57,6 +81,7 @@ class QrmScheduler:
         self.params = params
         self.pass_runner = pass_runner
         self.frames = {q: geometry.quadrant_frame(q) for q in Quadrant}
+        self._scan_limits = resolve_scan_limits(geometry, params.scan_limit)
         self._batch_engine = None
 
     def schedule(self, array: AtomArray) -> RearrangementResult:
@@ -105,7 +130,7 @@ class QrmScheduler:
                 scan_source=live.grid,
                 merge_mirror=self.params.merge_mirror_quadrants,
                 guard=False,
-                scan_limit=self.params.scan_limit,
+                scan_limit=self._scan_limits[Phase.ROW],
             )
             col_source = snapshot if pipelined else live.grid
             col_outcome = self.pass_runner(
@@ -115,7 +140,7 @@ class QrmScheduler:
                 scan_source=col_source,
                 merge_mirror=self.params.merge_mirror_quadrants,
                 guard=pipelined,
-                scan_limit=self.params.scan_limit,
+                scan_limit=self._scan_limits[Phase.COLUMN],
             )
 
             moves.extend(row_outcome.moves)

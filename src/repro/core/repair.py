@@ -119,7 +119,7 @@ def repair_defects_reference(array: AtomArray, max_moves: int = 4096) -> RepairO
     """
     outcome = RepairOutcome()
     geometry = array.geometry
-    target = geometry.target_region
+    target = geometry.target_mask
     grid = array.grid
     centre = ((geometry.height - 1) / 2.0, (geometry.width - 1) / 2.0)
 
@@ -184,20 +184,19 @@ def repair_defects(array: AtomArray, max_moves: int = 4096) -> RepairOutcome:
     """
     outcome = RepairOutcome()
     geometry = array.geometry
-    target = geometry.target_region
+    target = geometry.target_mask.mask
     grid = array.grid
     height, width = grid.shape
     centre = ((geometry.height - 1) / 2.0, (geometry.width - 1) / 2.0)
 
-    block = grid[target.row_slice, target.col_slice]
-    defects = np.argwhere(~block)
+    # np.argwhere is row-major, matching the reference's target_defects()
+    # enumeration order for any mask shape.
+    defects = np.argwhere(~grid & target)
     if defects.size:
-        defects += (target.row0, target.col0)
         dist = np.abs(defects[:, 0] - centre[0]) + np.abs(defects[:, 1] - centre[1])
         defects = defects[np.argsort(dist, kind="stable")]
 
-    outside_target = np.ones(grid.shape, dtype=bool)
-    outside_target[target.row_slice, target.col_slice] = False
+    outside_target = ~target
     # Exclusive prefix sums (leading zero) along rows / columns; the two
     # gathers in _segment_counts replace every per-candidate slice scan.
     # Both they and the reservoir only change when a route lands, so

@@ -140,8 +140,32 @@ class QuadrantScan:
         ]
 
 
+def _apply_limit(holes_mask: np.ndarray, limit) -> None:
+    """Zero out hole candidates at positions >= the ``s_en`` bound.
+
+    ``limit`` is a scalar (one bound for every line, the paper's manual
+    ``s_en`` control) or a 1-D array of per-line bounds (the mask-derived
+    generalisation) indexed like the lines axis of ``holes_mask`` —
+    second-to-last axis, so the same broadcast serves the single-trial
+    ``(line, position)`` and the batched ``(trial, line, position)``
+    layouts.
+    """
+    bounds = np.asarray(limit)
+    n_lines, n_positions = holes_mask.shape[-2:]
+    if bounds.ndim == 0:
+        holes_mask[..., max(0, int(bounds)) :] = False
+        return
+    if bounds.shape != (n_lines,):
+        raise ValueError(
+            f"per-line scan limit has shape {bounds.shape}, "
+            f"expected ({n_lines},)"
+        )
+    positions = np.arange(n_positions)
+    holes_mask &= positions[None, :] < bounds[:, None]
+
+
 def scan_quadrant(
-    local_grid: np.ndarray, axis: int, limit: int | None = None
+    local_grid: np.ndarray, axis: int, limit=None
 ) -> QuadrantScan:
     """Scan every line of a quadrant-local grid along ``axis``, batched.
 
@@ -150,7 +174,8 @@ def scan_quadrant(
     2-D cumulative sum and one ``nonzero`` instead of ``n_lines``
     separate scans.  ``axis=0`` scans rows (lines indexed by ``u``,
     positions along ``v``); ``axis=1`` scans columns.  ``limit`` is the
-    per-line ``s_en`` scan bound, see :func:`scan_line`.
+    ``s_en`` scan bound — a scalar (see :func:`scan_line`) or an array
+    of per-line bounds (see :func:`_apply_limit`).
     """
     grid = np.asarray(local_grid, dtype=bool)
     if axis == 1:
@@ -166,7 +191,7 @@ def scan_quadrant(
         outboard[:, :-1] = suffix_counts[:, 1:] > 0
     holes_mask = ~grid & outboard
     if limit is not None:
-        holes_mask[:, max(0, limit) :] = False
+        _apply_limit(holes_mask, limit)
     hole_lines, hole_positions = np.nonzero(holes_mask)
     return QuadrantScan(
         axis=axis,
@@ -218,7 +243,7 @@ class BatchQuadrantScan:
 
 
 def scan_quadrant_batch(
-    local_grids: np.ndarray, axis: int, limit: int | None = None
+    local_grids: np.ndarray, axis: int, limit=None
 ) -> BatchQuadrantScan:
     """Scan every line of every trial's quadrant-local grid in one sweep.
 
@@ -240,7 +265,7 @@ def scan_quadrant_batch(
         outboard[:, :, :-1] = suffix_counts[:, :, 1:] > 0
     holes_mask = ~grids & outboard
     if limit is not None:
-        holes_mask[:, :, max(0, limit):] = False
+        _apply_limit(holes_mask, limit)
     hole_trials, hole_lines, hole_positions = np.nonzero(holes_mask)
     return BatchQuadrantScan(
         axis=axis,
@@ -257,7 +282,7 @@ def scan_quadrant_batch(
 
 
 def scan_axis(
-    local_grid: np.ndarray, axis: int, limit: int | None = None
+    local_grid: np.ndarray, axis: int, limit=None
 ) -> list[LineScanResult]:
     """Scan every line of a quadrant-local grid along ``axis``.
 

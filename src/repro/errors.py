@@ -46,6 +46,17 @@ class GeometryError(ConfigurationError):
     """An array geometry is inconsistent (odd sizes, target too large...)."""
 
 
+class UnsupportedGeometryError(GeometryError):
+    """An algorithm was asked to schedule a geometry it cannot handle.
+
+    Raised by baseline schedulers whose published algorithm is defined
+    only for centred rectangular targets when handed a non-rectangular
+    :class:`~repro.lattice.mask.TargetMask`, and routed through
+    :func:`repro.baselines.base.resolve_algorithms` so a campaign fails
+    fast with the offending algorithm named instead of mid-run.
+    """
+
+
 class LoadingError(ReproError):
     """Stochastic loading was asked to do something impossible."""
 

@@ -10,18 +10,24 @@ from repro.lattice.geometry import (
 )
 from repro.lattice.loading import (
     DEFAULT_FILL,
+    LOADERS,
+    apply_loss,
     as_rng,
     load_checkerboard,
     load_exact,
     load_feasible,
     load_gradient,
+    load_named,
+    load_poisson_clusters,
     load_uniform,
 )
+from repro.lattice.mask import TargetMask
 from repro.lattice.metrics import (
     ArrayStats,
     defect_count,
     fill_fraction,
     is_defect_free,
+    mask_fill_fraction,
     summarize,
     surplus_atoms,
     target_fill_fraction,
@@ -34,9 +40,12 @@ __all__ = [
     "AtomArray",
     "DEFAULT_FILL",
     "Direction",
+    "LOADERS",
     "Quadrant",
     "QuadrantFrame",
     "Region",
+    "TargetMask",
+    "apply_loss",
     "as_rng",
     "defect_count",
     "fill_fraction",
@@ -45,7 +54,10 @@ __all__ = [
     "load_exact",
     "load_feasible",
     "load_gradient",
+    "load_named",
+    "load_poisson_clusters",
     "load_uniform",
+    "mask_fill_fraction",
     "render_array",
     "render_side_by_side",
     "summarize",

@@ -105,11 +105,21 @@ class AtomArray:
             (int(r) + region.row0, int(c) + region.col0) for r, c in np.argwhere(~block)
         ]
 
+    def mask_count(self, mask) -> int:
+        """Atoms sitting on the sites of a :class:`TargetMask`."""
+        return int(self.grid[mask.mask].sum())
+
+    def mask_defects(self, mask) -> list[tuple[int, int]]:
+        """Empty mask sites, row-major (same order as :meth:`region_defects`)."""
+        return [
+            (int(r), int(c)) for r, c in np.argwhere(~self.grid & mask.mask)
+        ]
+
     def target_count(self) -> int:
-        return self.region_count(self.geometry.target_region)
+        return self.mask_count(self.geometry.target_mask)
 
     def target_defects(self) -> list[tuple[int, int]]:
-        return self.region_defects(self.geometry.target_region)
+        return self.mask_defects(self.geometry.target_mask)
 
     def quadrant_count(self, quadrant: Quadrant) -> int:
         return self.region_count(self.geometry.quadrant_frame(quadrant).region)

@@ -14,10 +14,14 @@ from __future__ import annotations
 import enum
 import functools
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import GeometryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lattice.mask import TargetMask
 
 
 class Direction(enum.Enum):
@@ -290,25 +294,56 @@ class QuadrantFrame:
 
 @dataclass(frozen=True)
 class ArrayGeometry:
-    """Dimensions of the trap array and its centred target region.
+    """Dimensions of the trap array and its assembly target.
 
-    All four extents must be positive and even: evenness is what allows
-    the clean four-way quadrant split with the target shared equally
-    between quadrants (paper Fig. 4).
+    The default target is the paper's centred rectangle, described by
+    ``target_width``/``target_height``.  Arbitrary targets attach a
+    :class:`~repro.lattice.mask.TargetMask` (``mask`` field, normally
+    via :meth:`with_mask` or :meth:`masked`); the rectangle then becomes
+    the special case ``mask=None``, and every consumer that needs the
+    site set should read :attr:`target_mask`, which is always defined.
+
+    Array ``width``/``height`` must be positive and even: evenness is
+    what allows the clean four-way quadrant split (paper Fig. 4).  The
+    same holds for the rectangle target extents; a mask target instead
+    pins ``target_width``/``target_height`` to its bounding box, which
+    may be odd.
     """
 
     width: int
     height: int
     target_width: int
     target_height: int
+    mask: "TargetMask | None" = None
 
     def __post_init__(self) -> None:
-        for name in ("width", "height", "target_width", "target_height"):
+        for name in ("width", "height"):
             value = getattr(self, name)
             if value <= 0:
                 raise GeometryError(f"{name} must be positive, got {value}")
             if value % 2 != 0:
                 raise GeometryError(f"{name} must be even, got {value}")
+        if self.mask is None:
+            for name in ("target_width", "target_height"):
+                value = getattr(self, name)
+                if value <= 0:
+                    raise GeometryError(f"{name} must be positive, got {value}")
+                if value % 2 != 0:
+                    raise GeometryError(f"{name} must be even, got {value}")
+        else:
+            if self.mask.shape != (self.height, self.width):
+                raise GeometryError(
+                    f"target mask shape {self.mask.shape} does not match the "
+                    f"{self.height}x{self.width} array"
+                )
+            box = self.mask.bounding_box
+            if (self.target_height, self.target_width) != (box.height, box.width):
+                raise GeometryError(
+                    "target extents of a masked geometry must equal the mask "
+                    f"bounding box {box.height}x{box.width}, got "
+                    f"{self.target_height}x{self.target_width} "
+                    "(construct via ArrayGeometry.with_mask)"
+                )
         if self.target_width > self.width:
             raise GeometryError(
                 f"target_width {self.target_width} exceeds width {self.width}"
@@ -324,12 +359,19 @@ class ArrayGeometry:
 
         When ``target_size`` is omitted, the paper's headline ratio is
         used: a 30x30 target from a 50x50 array, i.e. ``0.6 * size``
-        rounded down to the nearest even number.
+        rounded down to the nearest even number.  Sizes below 4 leave no
+        even target of at least 2 sites per side, so they are rejected
+        instead of silently clamped.
         """
         if target_size is None:
             target_size = int(size * 0.6)
             target_size -= target_size % 2
-            target_size = max(2, target_size)
+            if target_size < 2:
+                raise GeometryError(
+                    f"size {size} is too small to derive a default target "
+                    "(0.6 * size rounds below the minimum even extent of 2); "
+                    "pass target_size explicitly"
+                )
         return cls(
             width=size,
             height=size,
@@ -337,13 +379,57 @@ class ArrayGeometry:
             target_height=target_size,
         )
 
+    @classmethod
+    def with_mask(cls, width: int, height: int, mask: "TargetMask") -> "ArrayGeometry":
+        """Geometry over a ``width x height`` array with a mask target.
+
+        The rectangle target extents are pinned to the mask's bounding
+        box so size-derived heuristics (``s_en`` bounds, figure scaling)
+        stay meaningful.
+        """
+        box = mask.bounding_box
+        return cls(
+            width=width,
+            height=height,
+            target_width=box.width,
+            target_height=box.height,
+            mask=mask,
+        )
+
+    def masked(self, mask: "TargetMask") -> "ArrayGeometry":
+        """This array re-targeted at ``mask`` (same trap extents)."""
+        return ArrayGeometry.with_mask(self.width, self.height, mask)
+
     @property
     def n_sites(self) -> int:
         return self.width * self.height
 
     @property
     def n_target_sites(self) -> int:
+        if self.mask is not None:
+            return self.mask.n_sites
         return self.target_width * self.target_height
+
+    @functools.cached_property
+    def target_mask(self) -> "TargetMask":
+        """The target as a mask — always defined, rectangle included.
+
+        This is the single source of truth for "is this site in the
+        target": metrics, rendering, and the repair stage all index
+        through it, so they cannot drift from each other.
+        """
+        if self.mask is not None:
+            return self.mask
+        from repro.lattice.mask import TargetMask
+
+        return TargetMask.rect(
+            self.height, self.width, self.target_height, self.target_width
+        )
+
+    @property
+    def is_rect_target(self) -> bool:
+        """True when the target is an axis-aligned full rectangle."""
+        return self.mask is None or self.mask.is_rect
 
     @property
     def half_width(self) -> int:
@@ -363,6 +449,21 @@ class ArrayGeometry:
 
     @property
     def target_region(self) -> Region:
+        """The target as a Region — only defined for rectangular targets.
+
+        Rectangle-only consumers (the Tetris/MTA-1 baselines, region
+        arithmetic) call this; mask-capable consumers should use
+        :attr:`target_mask` instead.  Raises :class:`GeometryError` for
+        a non-rectangular mask so the mismatch cannot pass silently.
+        """
+        if self.mask is not None:
+            region = self.mask.as_region()
+            if region is None:
+                raise GeometryError(
+                    "the target mask is not a rectangle; use target_mask "
+                    "(or bounding_box) instead of target_region"
+                )
+            return region
         return Region(
             row0=(self.height - self.target_height) // 2,
             col0=(self.width - self.target_width) // 2,
@@ -389,6 +490,31 @@ class ArrayGeometry:
     def quadrant_target_region(self, quadrant: Quadrant) -> Region:
         """The part of the target region that falls inside ``quadrant``."""
         return self.target_region.intersect(self.quadrant_frame(quadrant).region)
+
+    def quadrant_mask_limits(self, axis: int) -> dict[Quadrant, np.ndarray]:
+        """Per-line ``s_en`` bounds derived from the target mask.
+
+        For every quadrant, line ``u`` (``axis=0``: local rows, the row
+        pass; ``axis=1``: local columns, the column pass) gets the
+        smallest scan bound whose prefix covers every mask site of that
+        line — ``1 +`` the outermost local mask position, or ``0`` when
+        the line holds no mask site (its shift enables stay low and it
+        is never compacted).  This is the per-line generalisation of the
+        paper's scalar ``s_en`` bound, selected with
+        ``QrmParameters(scan_limit="mask")``.
+        """
+        if axis not in (0, 1):
+            raise GeometryError(f"axis must be 0 or 1, got {axis}")
+        mask = np.asarray(self.target_mask.mask)
+        limits: dict[Quadrant, np.ndarray] = {}
+        for quadrant in Quadrant:
+            local = self.quadrant_frame(quadrant).extract(mask)
+            if axis == 1:
+                local = local.T
+            n_positions = local.shape[1]
+            depth = np.arange(1, n_positions + 1, dtype=np.intp)
+            limits[quadrant] = (local * depth).max(axis=1, initial=0)
+        return limits
 
     def contains(self, row: int, col: int) -> bool:
         return 0 <= row < self.height and 0 <= col < self.width

@@ -112,3 +112,96 @@ def load_checkerboard(geometry: ArrayGeometry, phase: int = 0) -> AtomArray:
     cols = np.arange(geometry.width)[None, :]
     grid = (rows + cols + phase) % 2 == 0
     return AtomArray(geometry, grid)
+
+
+def load_poisson_clusters(
+    geometry: ArrayGeometry,
+    fill: float = DEFAULT_FILL,
+    rng: int | np.random.Generator | None = None,
+    cluster_rate: float = 0.02,
+    cluster_sigma: float = 1.5,
+) -> AtomArray:
+    """Spatially clustered loading (a Thomas cluster process).
+
+    Uniform Bernoulli loading assumes independent traps, but real MOT
+    loading shows spatial correlation: density ripples from the cooling
+    beams load patches of neighbouring traps together.  This model draws
+    Poisson-distributed cluster centres (``cluster_rate`` per site) and
+    boosts the loading probability near each centre with a Gaussian
+    kernel of width ``cluster_sigma``, normalised so the *expected* fill
+    stays ``fill`` — campaigns can swap ``uniform`` for ``poisson``
+    loading without changing the mean atom budget.
+    """
+    if not 0.0 <= fill <= 1.0:
+        raise LoadingError(f"fill probability must be in [0, 1], got {fill}")
+    if cluster_rate <= 0:
+        raise LoadingError(f"cluster_rate must be positive, got {cluster_rate}")
+    if cluster_sigma <= 0:
+        raise LoadingError(f"cluster_sigma must be positive, got {cluster_sigma}")
+    gen = as_rng(rng)
+    n_clusters = int(gen.poisson(cluster_rate * geometry.n_sites))
+    boost = np.zeros(geometry.shape, dtype=float)
+    if n_clusters:
+        centres_r = gen.uniform(0, geometry.height, size=n_clusters)
+        centres_c = gen.uniform(0, geometry.width, size=n_clusters)
+        rows = np.arange(geometry.height)[:, None, None]
+        cols = np.arange(geometry.width)[None, :, None]
+        sq = (rows - centres_r[None, None, :]) ** 2
+        sq = sq + (cols - centres_c[None, None, :]) ** 2
+        boost = np.exp(-sq / (2.0 * cluster_sigma**2)).sum(axis=2)
+    prob = fill * (1.0 + boost)
+    mean = float(prob.mean())
+    if mean > 0:
+        prob *= fill / mean
+    np.clip(prob, 0.0, 1.0, out=prob)
+    grid = gen.random(geometry.shape) < prob
+    return AtomArray(geometry, grid)
+
+
+#: Registered loading models selectable by name (campaign ``loading`` axis).
+LOADERS = {
+    "uniform": load_uniform,
+    "poisson": load_poisson_clusters,
+}
+
+
+def load_named(
+    name: str,
+    geometry: ArrayGeometry,
+    fill: float = DEFAULT_FILL,
+    rng: int | np.random.Generator | None = None,
+) -> AtomArray:
+    """Dispatch to a registered loader by name (``uniform``/``poisson``)."""
+    try:
+        loader = LOADERS[name]
+    except KeyError:
+        raise LoadingError(
+            f"unknown loading model {name!r}; known: {sorted(LOADERS)}"
+        ) from None
+    return loader(geometry, fill, rng)
+
+
+def apply_loss(
+    grid: np.ndarray,
+    loss_rate: float,
+    rng: int | np.random.Generator | None = None,
+) -> int:
+    """Mid-sequence loss hook: each atom survives with ``1 - loss_rate``.
+
+    Mutates ``grid`` in place and returns the number of atoms lost, so
+    drivers can interleave loss draws between rearrangement cycles (the
+    closed-loop pipeline) or between scheduling stages.  A zero rate is
+    a guaranteed no-op that burns no RNG draws.
+    """
+    if not 0.0 <= loss_rate <= 1.0:
+        raise LoadingError(f"loss_rate must be in [0, 1], got {loss_rate}")
+    if loss_rate == 0.0:
+        return 0
+    gen = as_rng(rng)
+    occupied = grid.nonzero()
+    n_atoms = occupied[0].size
+    if n_atoms == 0:
+        return 0
+    lost = gen.random(n_atoms) < loss_rate
+    grid[occupied[0][lost], occupied[1][lost]] = False
+    return int(lost.sum())

@@ -1,4 +1,11 @@
-"""Occupancy metrics used by the experiments and the validator."""
+"""Occupancy metrics used by the experiments and the validator.
+
+Target metrics are defined over the geometry's
+:class:`~repro.lattice.mask.TargetMask` — the same site set the
+scheduler's repair stage and the renderer consult — so "fill fraction"
+and "defect free" mean the same thing for the paper's rectangle and for
+arbitrary masked targets.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import Quadrant, Region
+from repro.lattice.mask import TargetMask
 
 
 def fill_fraction(array: AtomArray, region: Region | None = None) -> float:
@@ -17,15 +25,21 @@ def fill_fraction(array: AtomArray, region: Region | None = None) -> float:
     return array.region_count(region) / region.n_sites
 
 
+def mask_fill_fraction(array: AtomArray, mask: TargetMask) -> float:
+    """Fraction of ``mask``'s sites that hold an atom."""
+    return array.mask_count(mask) / mask.n_sites
+
+
 def target_fill_fraction(array: AtomArray) -> float:
-    """Fraction of the target region's sites that hold an atom."""
-    return fill_fraction(array, array.geometry.target_region)
+    """Fraction of the target's sites that hold an atom."""
+    return mask_fill_fraction(array, array.geometry.target_mask)
 
 
 def defect_count(array: AtomArray, region: Region | None = None) -> int:
-    """Number of empty sites inside ``region`` (target region if None)."""
+    """Number of empty target-mask sites (or sites of an explicit region)."""
     if region is None:
-        region = array.geometry.target_region
+        mask = array.geometry.target_mask
+        return mask.n_sites - array.mask_count(mask)
     return region.n_sites - array.region_count(region)
 
 

@@ -15,8 +15,8 @@ def render_array(
     occupied: str = OCCUPIED,
     empty: str = EMPTY,
 ) -> str:
-    """Render the occupancy grid; target-region defects use ``○``."""
-    target = array.geometry.target_region
+    """Render the occupancy grid; target-mask defects use ``○``."""
+    target = array.geometry.target_mask
     lines = []
     for r in range(array.geometry.height):
         cells = []

@@ -37,6 +37,7 @@ from repro.detection.camera import CameraConfig, DEFAULT_CAMERA
 from repro.errors import ConfigurationError, MoveError
 from repro.lattice.array import AtomArray
 from repro.lattice.geometry import ArrayGeometry
+from repro.lattice.mask import TargetMask
 from repro.physics.loss import LossModel
 from repro.timing.latency import (
     STAGE_AWG,
@@ -74,6 +75,7 @@ class PipelineConfig:
     timing: MoveTimingModel = DEFAULT_MOVE_TIMING
     fpga_timing: bool = False
     queue_depth: int = 4
+    mask: "TargetMask | None" = None
 
     def __post_init__(self) -> None:
         if self.size < 2:
@@ -90,8 +92,15 @@ class PipelineConfig:
             raise ConfigurationError(
                 "the FPGA cycle model only implements the 'qrm' algorithm"
             )
+        if self.mask is not None and self.target is not None:
+            raise ConfigurationError(
+                "a pipeline takes either a rectangular 'target' size or "
+                "a 'mask', not both"
+            )
 
     def geometry(self) -> ArrayGeometry:
+        if self.mask is not None:
+            return ArrayGeometry.with_mask(self.size, self.size, self.mask)
         return ArrayGeometry.square(self.size, self.target)
 
 

@@ -29,13 +29,18 @@ class SchedulerKey(NamedTuple):
 
     ``geometry`` is ``(width, height, target_width, target_height)``;
     ``params`` and ``qrm`` are sorted item tuples (or None) so the key
-    hashes while round-tripping to plain dicts for the wire.
+    hashes while round-tripping to plain dicts for the wire.  ``mask``
+    is the :meth:`repro.lattice.mask.TargetMask.token` encoding of a
+    non-rectangular target (or None for the paper's centred rectangle);
+    it is a trailing field with a default so keys pickled by pre-mask
+    clients keep resolving.
     """
 
     geometry: tuple[int, int, int, int]
     algorithm: str = "qrm"
     params: tuple[tuple[str, Any], ...] = ()
     qrm: tuple[tuple[str, Any], ...] | None = None
+    mask: str | None = None
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "SchedulerKey":
@@ -53,29 +58,52 @@ class SchedulerKey(NamedTuple):
             )
         params = payload.get("params") or {}
         qrm = payload.get("qrm")
+        mask = payload.get("mask")
         return cls(
             geometry=geometry,
             algorithm=str(payload.get("algorithm", "qrm")),
             params=tuple(sorted(params.items())),
             qrm=tuple(sorted(qrm.items())) if qrm is not None else None,
+            mask=str(mask) if mask is not None else None,
         )
 
     def to_payload(self) -> dict[str, Any]:
         """The wire request dict (inverse of :meth:`from_payload`)."""
-        return {
+        payload = {
             "geometry": self.geometry,
             "algorithm": self.algorithm,
             "params": dict(self.params),
             "qrm": dict(self.qrm) if self.qrm is not None else None,
         }
+        if self.mask is not None:
+            payload["mask"] = self.mask
+        return payload
+
+    def to_geometry(self):
+        """The :class:`~repro.lattice.geometry.ArrayGeometry` this key names.
+
+        Decodes the mask token when present; the full constructor (not
+        ``with_mask``) is used so a key whose rectangle extents disagree
+        with the mask's bounding box is rejected.
+        """
+        from repro.lattice.geometry import ArrayGeometry
+
+        if self.mask is None:
+            return ArrayGeometry(*self.geometry)
+        from repro.lattice.mask import TargetMask
+
+        try:
+            mask = TargetMask.from_token(self.mask)
+        except Exception as exc:
+            raise ConfigurationError(f"bad mask token: {exc}") from exc
+        return ArrayGeometry(*self.geometry, mask=mask)
 
 
 def resolve_scheduler(key: SchedulerKey):
     """Construct the scheduler a key names (the cache's factory)."""
     from repro.baselines.base import get_algorithm
-    from repro.lattice.geometry import ArrayGeometry
 
-    geometry = ArrayGeometry(*key.geometry)
+    geometry = key.to_geometry()
     if key.qrm is not None:
         from repro.campaign.spec import QrmSpec
         from repro.core.qrm import QrmScheduler

@@ -387,6 +387,11 @@ class RemoteAlgorithm:
                 if cell.qrm is not None
                 else None
             ),
+            # Mask-free cells keep the pre-mask wire shape; any explicit
+            # mask travels as a token, even a rectangular one (its
+            # rectangle may be off-centre or odd-sized, which the
+            # extents-only encoding cannot represent).
+            mask=(None if geometry.mask is None else geometry.mask.token()),
         )
         return cls(client, key)
 

@@ -39,7 +39,6 @@ from typing import Any
 
 from repro.errors import ConfigurationError, ReproError, format_error
 from repro.lattice.array import AtomArray
-from repro.lattice.geometry import ArrayGeometry
 from repro.service.cache import SchedulerCache, SchedulerKey
 from repro.service.wire import (
     MAX_JSON_LINE,
@@ -289,8 +288,7 @@ class SchedulingService:
             return
         try:
             key = SchedulerKey.from_payload(payload)
-            geometry = ArrayGeometry(*key.geometry)
-            array = AtomArray(geometry, payload["grid"])
+            array = AtomArray(key.to_geometry(), payload["grid"])
         except (ReproError, KeyError, TypeError, ValueError) as exc:
             await connection.send_error(
                 request_id, f"{type(exc).__name__}: {exc}"

@@ -113,10 +113,19 @@ def decode_json_request(line: bytes) -> dict[str, Any]:
          "geometry": {"width": 16, "height": 16,
                       "target_width": 8, "target_height": 8},
          "grid": [[0, 1, ...]]}
+        {"id": 7, "algorithm": "qrm-repair", "size": 16,
+         "mask": ["....", ".##.", ".##.", "...."],
+         "grid": [[0, 1, ...]]}
+
+    A ``"mask"`` (row strings of ``'#'`` target sites, or the
+    ``/``-joined token form) names a non-rectangular target; it
+    overrides any ``target`` extents, which are re-derived from the
+    mask's bounding box.
 
     Returns ``{"op", "id", ...}`` with ``"geometry"`` normalised to a
-    ``(width, height, target_width, target_height)`` tuple and
-    ``"grid"`` to a bool array for schedule requests.
+    ``(width, height, target_width, target_height)`` tuple, ``"mask"``
+    to a token string (when present) and ``"grid"`` to a bool array for
+    schedule requests.
 
     Validation errors raised after the object parses carry the
     request's ``id`` as ``exc.request_id`` so the error frame can still
@@ -143,7 +152,34 @@ def decode_json_request(line: bytes) -> dict[str, Any]:
     if "grid" not in data:
         raise reject("a schedule request needs a 'grid'")
     grid = np.asarray(data["grid"], dtype=bool)
-    if "geometry" in data:
+    mask_token: str | None = None
+    raw_mask = data.get("mask")
+    if raw_mask is not None:
+        from repro.lattice.mask import TargetMask
+
+        try:
+            if isinstance(raw_mask, str):
+                mask = TargetMask.from_token(raw_mask)
+            else:
+                mask = TargetMask.from_rows(list(raw_mask))
+        except Exception as exc:
+            raise reject(f"bad mask: {exc}", exc) from None
+        mask_token = mask.token()
+    if raw_mask is not None and ("size" in data or "geometry" in data):
+        # Target extents are the mask's bounding box by definition.
+        if "size" in data:
+            width = height = int(data["size"])
+        else:
+            geo = data["geometry"]
+            try:
+                width, height = int(geo["width"]), int(geo["height"])
+            except (KeyError, TypeError) as exc:
+                raise reject(
+                    "a JSON geometry needs width/height", exc
+                ) from None
+        box = mask.bounding_box
+        geometry = (width, height, box.width, box.height)
+    elif "geometry" in data:
         geo = data["geometry"]
         try:
             geometry = (
@@ -176,6 +212,8 @@ def decode_json_request(line: bytes) -> dict[str, Any]:
         qrm=data.get("qrm"),
         grid=grid,
     )
+    if mask_token is not None:
+        request["mask"] = mask_token
     return request
 
 

@@ -91,6 +91,67 @@ def atom_arrays(draw, sizes=SIZES, targets=TARGETS) -> AtomArray:
     return AtomArray(geometry, draw(occupancy_grids(geometry)))
 
 
+#: Mask size pool: even extents only (the quadrant split needs them);
+#: starts at 6 so every drawn ring keeps at least one site per quadrant.
+MASK_SIZES = (6, 8, 10, 12)
+
+#: Non-rectangular mask families the geometry layer supports.
+MASK_KINDS = ("ring", "triangular", "sparse")
+
+
+@st.composite
+def mask_strategies(draw, sizes=MASK_SIZES, kinds=MASK_KINDS):
+    """Non-rectangular :class:`TargetMask` draws over ring/triangular/sparse.
+
+    Parameter ranges are constrained so every draw is constructible
+    (non-empty): a ring band at least 1.0 wide always crosses a
+    half-integer site distance, a triangular lattice with ``margin <=
+    1`` on a size >= 6 array keeps its first row, and sparse site sets
+    are non-empty by construction.  Returns ``(size, mask)``.
+    """
+    from repro.lattice.mask import TargetMask
+
+    size = draw(st.sampled_from(sizes))
+    kind = draw(st.sampled_from(kinds))
+    if kind == "ring":
+        outer = draw(
+            st.floats(min_value=1.5, max_value=size / 2, allow_nan=False)
+        )
+        inner = draw(st.floats(min_value=0.0, max_value=outer - 1.0))
+        return size, TargetMask.ring(size, size, outer, inner)
+    if kind == "triangular":
+        pitch = draw(st.integers(min_value=1, max_value=3))
+        margin = draw(st.integers(min_value=0, max_value=1))
+        return size, TargetMask.triangular_lattice(
+            size, size, pitch=pitch, margin=margin
+        )
+    sites = draw(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=size - 1),
+                st.integers(min_value=0, max_value=size - 1),
+            ),
+            min_size=1,
+            max_size=max(2, size // 2),
+        )
+    )
+    return size, TargetMask.sparse_sites(size, size, sorted(sites))
+
+
+@st.composite
+def masked_geometries(draw, sizes=MASK_SIZES, kinds=MASK_KINDS) -> ArrayGeometry:
+    """Square geometries carrying a drawn non-rectangular target mask."""
+    size, mask = draw(mask_strategies(sizes=sizes, kinds=kinds))
+    return ArrayGeometry.with_mask(size, size, mask)
+
+
+@st.composite
+def masked_atom_arrays(draw, sizes=MASK_SIZES, kinds=MASK_KINDS) -> AtomArray:
+    """Random :class:`AtomArray` over masked geometry x fill x loss seeds."""
+    geometry = draw(masked_geometries(sizes=sizes, kinds=kinds))
+    return AtomArray(geometry, draw(occupancy_grids(geometry)))
+
+
 @st.composite
 def campaign_specs(draw, max_seeds: int = 3, cycles=(1,)):
     """Tiny campaign grids for engine/journal differential tests.
